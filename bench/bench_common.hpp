@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared scaffolding for the table-reproducing benchmarks: each benchmark
+// run registers one row; after google-benchmark finishes, the binary prints
+// the paper-style table assembled from those rows (this is what
+// EXPERIMENTS.md quotes).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "repair/types.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace lr::bench {
+
+struct Row {
+  std::string instance;
+  std::string algorithm;
+  double reachable = -1;
+  double step1 = 0;
+  double step2 = 0;
+  double total = 0;
+  double invariant_states = -1;
+  bool ok = false;
+};
+
+inline std::vector<Row>& rows() {
+  static std::vector<Row> storage;
+  return storage;
+}
+
+inline void record(const std::string& instance, const std::string& algorithm,
+                   const repair::RepairResult& result, double total_seconds) {
+  rows().push_back(Row{instance, algorithm, result.stats.reachable_states,
+                       result.stats.step1_seconds, result.stats.step2_seconds,
+                       total_seconds, result.stats.invariant_states,
+                       result.success});
+}
+
+/// Prints the collected rows as one paper-style table.
+inline void print_table(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  support::Table table({"Instance", "Algorithm", "Reachable states",
+                        "Step 1", "Step 2", "Total", "|S'|", "Result"});
+  for (const Row& row : rows()) {
+    table.add_row({row.instance, row.algorithm,
+                   support::format_state_count(row.reachable),
+                   support::format_duration(row.step1),
+                   support::format_duration(row.step2),
+                   support::format_duration(row.total),
+                   support::format_state_count(row.invariant_states),
+                   row.ok ? "ok" : "FAILED"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace lr::bench
+
+/// Custom main: run benchmarks, then print the assembled table.
+#define LR_BENCH_MAIN(TITLE)                            \
+  int main(int argc, char** argv) {                     \
+    ::benchmark::Initialize(&argc, argv);               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();              \
+    ::benchmark::Shutdown();                            \
+    ::lr::bench::print_table(TITLE);                    \
+    return 0;                                           \
+  }

@@ -1,0 +1,112 @@
+// Command-line front end: repair a model written in the textual format
+// (see models/*.lr) without writing any C++.
+//
+// Usage:
+//   repair_cli MODEL.lr [--cautious] [--oneshot] [--no-heuristic]
+//              [--level=masking|failsafe|nonmasking]
+//              [--print-program] [--no-verify]
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "lang/parser.hpp"
+#include "repair/cautious.hpp"
+#include "repair/describe.hpp"
+#include "repair/export.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const lr::support::CommandLine cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::printf("usage: %s MODEL.lr [--cautious] [--oneshot] "
+                "[--no-heuristic] [--level=masking|failsafe|nonmasking] "
+                "[--print-program] [--export=OUT.lr] [--no-verify]\n",
+                cli.program().c_str());
+    return 2;
+  }
+
+  std::unique_ptr<lr::prog::DistributedProgram> program;
+  try {
+    program = lr::lang::parse_program_file(cli.positional()[0]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(),
+                 error.what());
+    return 2;
+  }
+
+  lr::repair::Options options;
+  if (cli.has("oneshot")) {
+    options.group_method = lr::repair::GroupMethod::kOneShot;
+  }
+  if (cli.has("no-heuristic")) options.restrict_to_reachable = false;
+  const std::string level = cli.get("level", "masking");
+  if (level == "failsafe") {
+    options.level = lr::repair::ToleranceLevel::kFailsafe;
+  } else if (level == "nonmasking") {
+    options.level = lr::repair::ToleranceLevel::kNonmasking;
+  } else if (level != "masking") {
+    std::fprintf(stderr, "unknown tolerance level '%s'\n", level.c_str());
+    return 2;
+  }
+
+  std::printf("model: %s (%.3g states)\n", program->name().c_str(),
+              program->space().state_space_size());
+
+  lr::support::Stopwatch watch;
+  const lr::repair::RepairResult result =
+      cli.has("cautious") ? lr::repair::cautious_repair(*program, options)
+                          : lr::repair::lazy_repair(*program, options);
+  if (!result.success) {
+    std::printf("repair failed: %s\n", result.failure_reason.c_str());
+    return 1;
+  }
+
+  lr::support::Table table({"metric", "value"});
+  table.add_row({"algorithm", cli.has("cautious") ? "cautious" : "lazy"});
+  table.add_row({"tolerance level", level});
+  table.add_row({"total time", lr::support::format_duration(watch.seconds())});
+  table.add_row({"step 1", lr::support::format_duration(result.stats.step1_seconds)});
+  table.add_row({"step 2", lr::support::format_duration(result.stats.step2_seconds)});
+  table.add_row({"invariant S' states",
+                 lr::support::format_state_count(result.stats.invariant_states)});
+  table.add_row({"fault-span states",
+                 lr::support::format_state_count(result.stats.span_states)});
+  table.print(std::cout);
+
+  if (cli.has("print-program")) {
+    for (std::size_t j = 0; j < program->process_count(); ++j) {
+      std::printf("\nprocess %s:\n", program->process(j).name.c_str());
+      for (const std::string& line : lr::repair::describe_process_program(
+               *program, j, result.process_deltas[j], result.fault_span)) {
+        std::printf("  %s\n", line.c_str());
+      }
+    }
+  }
+
+  const std::string export_path = cli.get("export", "");
+  if (!export_path.empty()) {
+    std::ofstream out(export_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+    out << lr::repair::export_model(*program, result);
+    std::printf("\nsynthesized model written to %s\n", export_path.c_str());
+  }
+
+  if (!cli.has("no-verify")) {
+    const lr::repair::VerifyReport report =
+        lr::repair::verify_masking(*program, result, options.level);
+    std::printf("\nverification: %s\n", report.ok ? "OK" : "FAILED");
+    for (const std::string& failure : report.failures) {
+      std::printf("  %s\n", failure.c_str());
+    }
+    return report.ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Stabilizing chain (the paper's Sc^n rows): repairs a chain of processes
+// that copy their left neighbor, under transient corruption of any
+// variable, and reports how the synthesis time scales.
+//
+// Usage:
+//   stabilizing_chain [--length=6] [--domain=4] [--sweep] [--no-verify]
+//
+// With --sweep, lengths 4..length are repaired and printed as one table
+// (verification is skipped for the larger instances automatically: the
+// explicit spans grow beyond what the checker should chew on).
+
+#include <cstdio>
+#include <iostream>
+
+#include "casestudies/chain.hpp"
+#include "repair/describe.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct RunResult {
+  bool ok = false;
+  double seconds = 0;
+  lr::repair::Stats stats;
+};
+
+RunResult run_one(std::size_t length, std::uint32_t domain, bool verify) {
+  auto program = lr::cs::make_chain({.length = length, .domain = domain});
+  lr::support::Stopwatch watch;
+  const lr::repair::RepairResult result = lr::repair::lazy_repair(*program);
+  RunResult out;
+  out.seconds = watch.seconds();
+  out.stats = result.stats;
+  out.ok = result.success;
+  if (result.success && verify) {
+    out.ok = lr::repair::verify_masking(*program, result).ok;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lr::support::CommandLine cli(argc, argv);
+  const auto length = static_cast<std::size_t>(cli.get_int("length", 6));
+  const auto domain = static_cast<std::uint32_t>(cli.get_int("domain", 4));
+  const bool verify = !cli.has("no-verify");
+
+  if (cli.has("sweep")) {
+    lr::support::Table table({"instance", "states", "step 1", "step 2",
+                              "total", "verified"});
+    for (std::size_t n = 4; n <= length; n += 2) {
+      const bool verify_this = verify && n <= 6 && domain <= 4;
+      const RunResult r = run_one(n, domain, verify_this);
+      table.add_row(
+          {"Sc^" + std::to_string(n),
+           lr::support::format_state_count(r.stats.reachable_states),
+           lr::support::format_duration(r.stats.step1_seconds),
+           lr::support::format_duration(r.stats.step2_seconds),
+           lr::support::format_duration(r.seconds),
+           r.ok ? (verify_this ? "yes" : "n/a") : "FAILED"});
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  auto program = lr::cs::make_chain({.length = length, .domain = domain});
+  std::printf("model: %s, state space %.3g states\n",
+              program->name().c_str(), program->space().state_space_size());
+  lr::support::Stopwatch watch;
+  const lr::repair::RepairResult result = lr::repair::lazy_repair(*program);
+  if (!result.success) {
+    std::printf("repair failed: %s\n", result.failure_reason.c_str());
+    return 1;
+  }
+  std::printf("repaired in %s (step 1 %s, step 2 %s)\n",
+              lr::support::format_duration(watch.seconds()).c_str(),
+              lr::support::format_duration(result.stats.step1_seconds).c_str(),
+              lr::support::format_duration(result.stats.step2_seconds).c_str());
+
+  std::printf("\nrepaired actions of process p1 (within the fault span):\n");
+  for (const std::string& line : lr::repair::describe_process_program(
+           *program, 0, result.process_deltas[0], result.fault_span, 16)) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  if (verify && program->space().state_space_size() <= 1 << 20) {
+    const lr::repair::VerifyReport report =
+        lr::repair::verify_masking(*program, result);
+    std::printf("\nverification: %s\n", report.ok ? "OK" : "FAILED");
+    return report.ok ? 0 : 1;
+  }
+  return 0;
+}

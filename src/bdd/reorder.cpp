@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+// Dynamic variable reordering (Rudell's sifting).
+//
+// The engine separates variable *identity* (VarIndex, stable forever) from
+// variable *position* (level). Reordering exchanges adjacent levels in
+// place: a node keeps its NodeId — and therefore every external Bdd handle
+// keeps its semantics — while its (var, lo, hi) triple is rewritten. The
+// classic invariants make this safe:
+//
+//  * only nodes of the upper variable x with a child labeled by the lower
+//    variable y need rewriting; all other nodes are untouched;
+//  * the rewritten node becomes a y-node whose children are x-nodes with
+//    both cofactors below level(y), so the unique-table lookups performed
+//    during the sweep can never return a node that is itself scheduled for
+//    rewriting;
+//  * a rewritten node can never collapse (lo == hi would imply the node
+//    had no y-child in the first place).
+//
+// Operation-cache entries stay *semantically* valid (keys and values are
+// node ids whose functions are preserved), but they are cleared at the end
+// of every reordering anyway, out of caution.
+
+namespace lr::bdd {
+
+std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
+  assert(level + 1 < num_vars_);
+  const VarIndex x = var_at_level_[level];
+  const VarIndex y = var_at_level_[level + 1];
+  const std::ptrdiff_t before = static_cast<std::ptrdiff_t>(live_nodes());
+
+  // Collect the x-nodes that interact with y before creating anything new.
+  std::vector<NodeId> rewrite;
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var != x) continue;
+    if (nodes_[n.lo].var == y || nodes_[n.hi].var == y) rewrite.push_back(id);
+  }
+
+  for (const NodeId id : rewrite) {
+    // Copy fields first: make_node below may reallocate the pool.
+    const NodeId f0 = nodes_[id].lo;
+    const NodeId f1 = nodes_[id].hi;
+    const bool lo_is_y = nodes_[f0].var == y;
+    const bool hi_is_y = nodes_[f1].var == y;
+    const NodeId f00 = lo_is_y ? nodes_[f0].lo : f0;
+    const NodeId f01 = lo_is_y ? nodes_[f0].hi : f0;
+    const NodeId f10 = hi_is_y ? nodes_[f1].lo : f1;
+    const NodeId f11 = hi_is_y ? nodes_[f1].hi : f1;
+
+    const NodeId new_lo = make_node(x, f00, f10);
+    const NodeId new_hi = make_node(x, f01, f11);
+    assert(new_lo != new_hi && "rewritten node cannot collapse");
+
+    unlink_node(id);
+    Node& n = nodes_[id];
+    n.var = y;
+    n.lo = new_lo;
+    n.hi = new_hi;
+    relink_node(id);
+  }
+
+  std::swap(var_at_level_[level], var_at_level_[level + 1]);
+  std::swap(level_of_var_[x], level_of_var_[y]);
+  return static_cast<std::ptrdiff_t>(live_nodes()) - before;
+}
+
+std::size_t Manager::reorder_sifting(int max_passes) {
+  if (num_vars_ < 2) return live_nodes();
+  const bool gc_was_enabled = gc_enabled_;
+  gc_enabled_ = false;  // GC timing is managed explicitly below
+  collect_garbage();
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const std::size_t pass_start = live_nodes();
+    // Sift variables in decreasing order of their node population — the
+    // biggest offenders first (Rudell's heuristic).
+    std::vector<std::size_t> population(num_vars_, 0);
+    for (NodeId id = 2; id < nodes_.size(); ++id) {
+      const Node& n = nodes_[id];
+      if (n.var < num_vars_) ++population[n.var];
+    }
+    std::vector<VarIndex> order(num_vars_);
+    for (VarIndex v = 0; v < num_vars_; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&](VarIndex a, VarIndex b) {
+      return population[a] > population[b];
+    });
+
+    for (const VarIndex v : order) {
+      // Sweep the garbage from the previous journey so node counts are
+      // honest for this one.
+      collect_garbage();
+      const std::uint32_t start_pos = level_of_var_[v];
+      const std::uint32_t bottom = num_vars_ - 1;
+      std::size_t best_size = live_nodes();
+      const std::size_t limit = best_size * 2 + 64;  // growth bound
+      std::uint32_t best_pos = start_pos;
+
+      // Down to the bottom...
+      for (std::uint32_t l = start_pos; l < bottom; ++l) {
+        swap_adjacent_levels(l);
+        if (live_nodes() < best_size) {
+          best_size = live_nodes();
+          best_pos = l + 1;
+        }
+        if (live_nodes() > limit) break;
+      }
+      // ...up to the top...
+      for (std::uint32_t l = level_of_var_[v]; l > 0; --l) {
+        swap_adjacent_levels(l - 1);
+        if (live_nodes() <= best_size) {  // prefer higher on ties
+          best_size = live_nodes();
+          best_pos = l - 1;
+        }
+        // Aborting the upward journey is safe: every best_pos recorded so
+        // far lies at or below the current position, and the settling loop
+        // only moves downward.
+        if (live_nodes() > limit) break;
+      }
+      // ...and settle at the best position seen.
+      for (std::uint32_t l = level_of_var_[v]; l < best_pos; ++l) {
+        swap_adjacent_levels(l);
+      }
+    }
+
+    collect_garbage();
+    if (live_nodes() * 50 > pass_start * 49) break;  // < 2% gain: stop
+  }
+
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  gc_enabled_ = gc_was_enabled;
+  return live_nodes();
+}
+
+void Manager::unlink_node(NodeId id) {
+  const Node& n = nodes_[id];
+  const std::size_t bucket = unique_bucket(n.var, n.lo, n.hi);
+  NodeId cur = buckets_[bucket];
+  if (cur == id) {
+    buckets_[bucket] = n.next;
+    return;
+  }
+  while (cur != kFalseId) {
+    Node& walk = nodes_[cur];
+    if (walk.next == id) {
+      walk.next = n.next;
+      return;
+    }
+    cur = walk.next;
+  }
+  assert(false && "unlink_node: node not found in its bucket");
+}
+
+void Manager::relink_node(NodeId id) {
+  Node& n = nodes_[id];
+  const std::size_t bucket = unique_bucket(n.var, n.lo, n.hi);
+  n.next = buckets_[bucket];
+  buckets_[bucket] = id;
+}
+
+}  // namespace lr::bdd

@@ -1,0 +1,199 @@
+#include "casestudies/byzantine.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lr::cs {
+
+namespace {
+constexpr std::uint32_t kBot = 2;  ///< ⊥ in the decision domain {0, 1, ⊥}
+}
+
+std::unique_ptr<prog::DistributedProgram> make_byzantine(
+    const ByzantineOptions& options) {
+  using lang::Expr;
+  using lang::action;
+
+  const std::size_t n = options.non_generals;
+  if (n < 2) {
+    throw std::invalid_argument("make_byzantine: need at least 2 non-generals");
+  }
+
+  auto program = std::make_unique<prog::DistributedProgram>(
+      "byzantine-agreement-" + std::to_string(n) +
+          (options.fail_stop ? "-failstop" : ""),
+      options.manager_options);
+
+  // --- Variables -------------------------------------------------------------
+  const sym::VarId bg = program->add_variable("b.g", 2);
+  const sym::VarId dg = program->add_variable("d.g", 2);
+  std::vector<sym::VarId> b(n);
+  std::vector<sym::VarId> d(n);
+  std::vector<sym::VarId> f(n);
+  std::vector<sym::VarId> up(options.fail_stop ? n : 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::string suffix = "." + std::to_string(j);
+    b[j] = program->add_variable("b" + suffix, 2);
+    d[j] = program->add_variable("d" + suffix, 3);  // {0, 1, ⊥}
+    f[j] = program->add_variable("f" + suffix, 2);
+    if (options.fail_stop) {
+      up[j] = program->add_variable("up" + suffix, 2);
+    }
+  }
+
+  // --- Processes -------------------------------------------------------------
+  for (std::size_t j = 0; j < n; ++j) {
+    prog::Process p;
+    p.name = "p" + std::to_string(j);
+    p.reads = {dg, b[j], d[j], f[j]};
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != j) p.reads.push_back(d[k]);
+    }
+    p.writes = {d[j], f[j]};
+    Expr alive = Expr::bool_const(true);
+    if (options.fail_stop) {
+      p.reads.push_back(up[j]);
+      alive = Expr::var(up[j]) == 1u;
+    }
+    p.actions.push_back(
+        action("copy", alive && Expr::var(d[j]) == kBot &&
+                           Expr::var(f[j]) == 0u)
+            .assign(d[j], Expr::var(dg)));
+    p.actions.push_back(
+        action("finalize", alive && Expr::var(d[j]) != kBot &&
+                               Expr::var(f[j]) == 0u)
+            .assign(f[j], Expr::constant(1)));
+    program->add_process(std::move(p));
+  }
+
+  // --- Faults ------------------------------------------------------------------
+  // At most one process ever becomes byzantine.
+  Expr nobody_byzantine = Expr::var(bg) == 0u;
+  for (std::size_t j = 0; j < n; ++j) {
+    nobody_byzantine = nobody_byzantine && Expr::var(b[j]) == 0u;
+  }
+  program->add_fault(action("g-becomes-byzantine", nobody_byzantine)
+                         .assign(bg, Expr::constant(1)));
+  for (std::size_t j = 0; j < n; ++j) {
+    program->add_fault(
+        action("p" + std::to_string(j) + "-becomes-byzantine",
+               nobody_byzantine)
+            .assign(b[j], Expr::constant(1)));
+  }
+  // A byzantine process changes its decision arbitrarily (a crashed
+  // process stops doing even that).
+  program->add_fault(action("g-lies", Expr::var(bg) == 1u)
+                         .choose(dg, {Expr::constant(0), Expr::constant(1)}));
+  for (std::size_t j = 0; j < n; ++j) {
+    Expr lying = Expr::var(b[j]) == 1u;
+    if (options.fail_stop) lying = lying && Expr::var(up[j]) == 1u;
+    program->add_fault(action("p" + std::to_string(j) + "-lies", lying)
+                           .choose(d[j], {Expr::constant(0), Expr::constant(1)}));
+  }
+  if (options.fail_stop) {
+    // At most one non-general crashes.
+    Expr all_up = Expr::bool_const(true);
+    for (std::size_t j = 0; j < n; ++j) {
+      all_up = all_up && Expr::var(up[j]) == 1u;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      program->add_fault(action("p" + std::to_string(j) + "-crashes", all_up)
+                             .assign(up[j], Expr::constant(0)));
+    }
+  }
+
+  // --- Invariant ------------------------------------------------------------------
+  // The classic Kulkarni-Arora BA invariant: at most one byzantine process,
+  // and the non-byzantine processes are consistent. Byzantine states must
+  // be legitimate because the byzantine flags are permanent — masking
+  // tolerance requires recovery *into* the invariant, so the invariant has
+  // to absorb the surviving perturbation. Three shapes:
+  //   - nobody byzantine: every copied decision matches the general;
+  //   - one non-general byzantine: the others are consistent with g;
+  //   - the general byzantine: some single value v is consistent across all
+  //     non-generals.
+  // In all shapes, finalized implies decided. (up values are unconstrained
+  // in the fail-stop variant: a crash keeps the state legitimate.)
+  auto consistent_with = [&](std::size_t j, const Expr& value) {
+    Expr usual = (Expr::var(d[j]) == kBot || Expr::var(d[j]) == value) &&
+                 (Expr::var(f[j]) == 0u || Expr::var(d[j]) != kBot);
+    if (!options.fail_stop) return usual;
+    // A crashed, never-finalized process is exempt: it will not finalize,
+    // so agreement and validity cannot be violated through it.
+    return (Expr::var(up[j]) == 0u && Expr::var(f[j]) == 0u) || usual;
+  };
+  Expr nobody_bad = Expr::var(bg) == 0u;
+  for (std::size_t j = 0; j < n; ++j) {
+    nobody_bad = nobody_bad && Expr::var(b[j]) == 0u &&
+                 consistent_with(j, Expr::var(dg));
+  }
+  Expr invariant = nobody_bad;
+  for (std::size_t byz = 0; byz < n; ++byz) {
+    Expr shape = Expr::var(bg) == 0u && Expr::var(b[byz]) == 1u;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == byz) continue;
+      shape = shape && Expr::var(b[j]) == 0u &&
+              consistent_with(j, Expr::var(dg));
+    }
+    invariant = invariant || shape;
+  }
+  {
+    Expr general_byz_shape = Expr::bool_const(false);
+    for (std::uint32_t v = 0; v <= 1; ++v) {
+      Expr shape = Expr::var(bg) == 1u;
+      for (std::size_t j = 0; j < n; ++j) {
+        shape = shape && Expr::var(b[j]) == 0u &&
+                consistent_with(j, Expr::constant(v));
+      }
+      general_byz_shape = general_byz_shape || shape;
+    }
+    invariant = invariant || general_byz_shape;
+  }
+  program->set_invariant(invariant);
+
+  // --- Safety specification ----------------------------------------------------------
+  // Validity: a finalized, non-byzantine non-general disagrees with a
+  // non-byzantine general.
+  for (std::size_t j = 0; j < n; ++j) {
+    program->add_bad_states(Expr::var(bg) == 0u && Expr::var(b[j]) == 0u &&
+                            Expr::var(f[j]) == 1u &&
+                            Expr::var(d[j]) != kBot &&
+                            Expr::var(d[j]) != Expr::var(dg));
+    // Finalized without a decision.
+    program->add_bad_states(Expr::var(b[j]) == 0u && Expr::var(f[j]) == 1u &&
+                            Expr::var(d[j]) == kBot);
+  }
+  // Agreement: two finalized, non-byzantine non-generals disagree.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j + 1; k < n; ++k) {
+      program->add_bad_states(
+          Expr::var(b[j]) == 0u && Expr::var(b[k]) == 0u &&
+          Expr::var(f[j]) == 1u && Expr::var(f[k]) == 1u &&
+          Expr::var(d[j]) != kBot && Expr::var(d[k]) != kBot &&
+          Expr::var(d[j]) != Expr::var(d[k]));
+    }
+  }
+  // Finality: once a non-byzantine process finalizes, its decision and its
+  // finalized flag are frozen (for the program; byzantine faults are exempt
+  // because they require b.j = 1).
+  for (std::size_t j = 0; j < n; ++j) {
+    program->add_bad_transitions(
+        Expr::var(b[j]) == 0u && Expr::var(f[j]) == 1u &&
+        (Expr::next(d[j]) != Expr::var(d[j]) ||
+         Expr::next(f[j]) != Expr::var(f[j])));
+  }
+  if (options.fail_stop) {
+    // A crashed process executes nothing: no transition (of the program —
+    // the fault guards already respect this) may touch its variables.
+    for (std::size_t j = 0; j < n; ++j) {
+      program->add_bad_transitions(
+          Expr::var(up[j]) == 0u && (Expr::next(d[j]) != Expr::var(d[j]) ||
+                                     Expr::next(f[j]) != Expr::var(f[j])));
+    }
+  }
+
+  return program;
+}
+
+}  // namespace lr::cs

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "program/distributed_program.hpp"
+
+namespace lr::cs {
+
+/// Parameters of the Byzantine-agreement case study (Section VI-A).
+struct ByzantineOptions {
+  /// Number of non-general processes (the paper's j, k, l for n = 3).
+  std::size_t non_generals = 3;
+  /// Also subject processes to fail-stop faults (the BAFS variant): each
+  /// non-general can crash (at most one), and a crashed process executes no
+  /// actions.
+  bool fail_stop = false;
+  /// BDD manager sizing (larger instances benefit from a bigger cache).
+  bdd::Manager::Options manager_options = {};
+};
+
+/// Builds the fault-intolerant Byzantine-agreement program of Section VI:
+///
+/// Variables: general g with b.g (byzantine?) and d.g ∈ {0,1}; every
+/// non-general j with b.j, d.j ∈ {0,1,⊥} and f.j (finalized?); with
+/// fail_stop additionally up.j.
+///
+/// Non-general j reads every decision variable plus its own b.j, f.j
+/// (and up.j); it writes d.j and f.j. Its actions:
+///   d.j = ⊥ ∧ f.j = 0  -->  d.j := d.g
+///   d.j ≠ ⊥ ∧ f.j = 0  -->  f.j := 1
+///
+/// Faults: one process (general included) may become byzantine; a byzantine
+/// process changes its decision arbitrarily; with fail_stop one non-general
+/// may crash.
+///
+/// Safety (bad states): a finalized non-byzantine non-general disagreeing
+/// with a non-byzantine general (validity), two finalized non-byzantine
+/// non-generals disagreeing (agreement), or finalized without a decision.
+/// Safety (bad transitions): a non-byzantine finalized process changing its
+/// decision or un-finalizing.
+[[nodiscard]] std::unique_ptr<prog::DistributedProgram> make_byzantine(
+    const ByzantineOptions& options);
+
+}  // namespace lr::cs

@@ -1,0 +1,58 @@
+#include "casestudies/chain.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lr::cs {
+
+std::unique_ptr<prog::DistributedProgram> make_chain(
+    const ChainOptions& options) {
+  using lang::Expr;
+  using lang::action;
+
+  if (options.length < 1) {
+    throw std::invalid_argument("make_chain: length must be >= 1");
+  }
+  if (options.domain < 2) {
+    throw std::invalid_argument("make_chain: domain must be >= 2");
+  }
+
+  auto program = std::make_unique<prog::DistributedProgram>(
+      "stabilizing-chain-" + std::to_string(options.length),
+      options.manager_options);
+
+  std::vector<sym::VarId> x(options.length + 1);
+  for (std::size_t i = 0; i <= options.length; ++i) {
+    x[i] = program->add_variable("x" + std::to_string(i), options.domain);
+  }
+
+  for (std::size_t i = 1; i <= options.length; ++i) {
+    prog::Process p;
+    p.name = "p" + std::to_string(i);
+    p.reads = {x[i - 1], x[i]};
+    p.writes = {x[i]};
+    p.actions.push_back(
+        action("propagate", Expr::var(x[i]) != Expr::var(x[i - 1]))
+            .assign(x[i], Expr::var(x[i - 1])));
+    program->add_process(std::move(p));
+  }
+
+  // Transient faults: any variable (root included) is corrupted to an
+  // arbitrary in-domain value.
+  for (std::size_t i = 0; i <= options.length; ++i) {
+    program->add_fault(
+        action("corrupt-x" + std::to_string(i), Expr::bool_const(true))
+            .havoc_var(x[i]));
+  }
+
+  Expr invariant = Expr::bool_const(true);
+  for (std::size_t i = 1; i <= options.length; ++i) {
+    invariant = invariant && (Expr::var(x[i]) == Expr::var(x[i - 1]));
+  }
+  program->set_invariant(invariant);
+
+  return program;
+}
+
+}  // namespace lr::cs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "program/distributed_program.hpp"
+
+namespace lr::cs {
+
+/// Parameters of the stabilizing-chain case study (the paper's Sc^n rows).
+struct ChainOptions {
+  /// Number of non-root processes (variables x_1 .. x_length).
+  std::size_t length = 5;
+  /// Domain size of each chain variable (the paper's instances need ~8-10
+  /// values to reach 10^19..10^30 states).
+  std::uint32_t domain = 4;
+  bdd::Manager::Options manager_options = {};
+};
+
+/// Builds the stabilizing chain:
+///
+/// Variables x_0 .. x_n over {0..domain-1}; x_0 is the root (written by no
+/// process). Process i (1..n) reads {x_{i-1}, x_i}, writes {x_i}, and runs
+///   x_i ≠ x_{i-1}  -->  x_i := x_{i-1}
+///
+/// Invariant: ∀i ≥ 1: x_i = x_{i-1} (the chain agrees with the root).
+/// Faults corrupt any single variable (including the root) to an arbitrary
+/// value. The safety specification is empty: the repair problem is pure
+/// convergence, i.e. masking reduces to guaranteed recovery.
+[[nodiscard]] std::unique_ptr<prog::DistributedProgram> make_chain(
+    const ChainOptions& options);
+
+}  // namespace lr::cs

@@ -1,0 +1,78 @@
+#include "casestudies/tmr.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lr::cs {
+
+namespace {
+constexpr std::uint32_t kBot = 2;  ///< ⊥ in the output domain {0, 1, ⊥}
+}
+
+std::unique_ptr<prog::DistributedProgram> make_tmr(const TmrOptions& options) {
+  using lang::Expr;
+  using lang::action;
+
+  const std::size_t r = options.replicas;
+  if (r < 3 || options.max_corruptions * 2 >= r) {
+    throw std::invalid_argument(
+        "make_tmr: need >= 3 replicas and a corrupted minority");
+  }
+
+  auto program = std::make_unique<prog::DistributedProgram>(
+      "tmr-" + std::to_string(r), options.manager_options);
+
+  const sym::VarId ref = program->add_variable("ref", 2);
+  std::vector<sym::VarId> in(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    in[i] = program->add_variable("in" + std::to_string(i), 2);
+  }
+  const sym::VarId out = program->add_variable("out", 3);
+
+  // The voter: reads the input lines and the output — but not the hidden
+  // reference. The fault-intolerant program copies line 0 blindly; the
+  // repair must discover the majority vote.
+  prog::Process voter;
+  voter.name = "voter";
+  voter.reads = in;
+  voter.reads.push_back(out);
+  voter.writes = {out};
+  voter.actions.push_back(
+      action("emit", Expr::var(out) == kBot).assign(out, Expr::var(in[0])));
+  program->add_process(std::move(voter));
+
+  // Number of corrupted lines, as an expression.
+  auto mismatches = [&]() {
+    Expr sum = Expr::constant(0);
+    for (std::size_t i = 0; i < r; ++i) {
+      sum = sum + Expr::ite(Expr::var(in[i]) == Expr::var(ref),
+                            Expr::constant(0), Expr::constant(1));
+    }
+    return sum;
+  }();
+
+  // Faults corrupt a line while fewer than max_corruptions are corrupt.
+  for (std::size_t i = 0; i < r; ++i) {
+    program->add_fault(
+        action("corrupt-in" + std::to_string(i),
+               mismatches < static_cast<std::uint32_t>(options.max_corruptions))
+            .havoc_var(in[i]));
+  }
+
+  // Invariant: a corrupted minority, and the output is unwritten or
+  // correct.
+  program->set_invariant(
+      mismatches <= static_cast<std::uint32_t>(options.max_corruptions) &&
+      (Expr::var(out) == kBot || Expr::var(out) == Expr::var(ref)));
+
+  // Safety: a wrong output is catastrophic; a written output is frozen.
+  program->add_bad_states(Expr::var(out) != kBot &&
+                          Expr::var(out) != Expr::var(ref));
+  program->add_bad_transitions(Expr::var(out) != kBot &&
+                               Expr::next(out) != Expr::var(out));
+
+  return program;
+}
+
+}  // namespace lr::cs

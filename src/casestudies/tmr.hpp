@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "program/distributed_program.hpp"
+
+namespace lr::cs {
+
+/// Parameters of the triple-modular-redundancy case study.
+struct TmrOptions {
+  /// Number of replicated input lines (classic TMR: 3).
+  std::size_t replicas = 3;
+  /// How many replicas faults may corrupt (must stay a minority for the
+  /// repair to succeed).
+  std::size_t max_corruptions = 1;
+  bdd::Manager::Options manager_options = {};
+};
+
+/// Builds the triple-modular-redundancy circuit as a repair problem — the
+/// canonical "masking by voting" example of the fault-tolerance
+/// literature:
+///
+/// Inputs in_0..in_{r-1} ∈ {0,1} start equal to a hidden reference value
+/// ref; an output process reads all inputs and writes out ∈ {0,1,⊥},
+/// initially ⊥. Faults corrupt up to `max_corruptions` input lines. The
+/// specification: the output, once written, must equal ref (bad states
+/// otherwise), and a written output is frozen (bad transitions).
+///
+/// The fault-intolerant program copies in_0 blindly; the repair must
+/// synthesize the majority vote.
+[[nodiscard]] std::unique_ptr<prog::DistributedProgram> make_tmr(
+    const TmrOptions& options);
+
+}  // namespace lr::cs

@@ -1,0 +1,79 @@
+#include "casestudies/token_ring.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lr::cs {
+
+std::unique_ptr<prog::DistributedProgram> make_token_ring(
+    const TokenRingOptions& options) {
+  using lang::Expr;
+  using lang::action;
+
+  const std::size_t n = options.processes;
+  const std::uint32_t k = options.domain;
+  if (n < 2) {
+    throw std::invalid_argument("make_token_ring: need at least 2 processes");
+  }
+  if (k < 2) {
+    throw std::invalid_argument("make_token_ring: domain must be >= 2");
+  }
+
+  auto program = std::make_unique<prog::DistributedProgram>(
+      "token-ring-" + std::to_string(n), options.manager_options);
+
+  std::vector<sym::VarId> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = program->add_variable("x" + std::to_string(i), k);
+  }
+
+  // Token predicates.
+  auto has_token = [&](std::size_t i) {
+    if (i == 0) return Expr::var(x[0]) == Expr::var(x[n - 1]);
+    return Expr::var(x[i]) != Expr::var(x[i - 1]);
+  };
+
+  // Root: x0 := x_{n-1} + 1 mod K (the modular increment idiom).
+  {
+    prog::Process root;
+    root.name = "p0";
+    root.reads = {x[n - 1], x[0]};
+    root.writes = {x[0]};
+    const Expr bump = Expr::ite(Expr::var(x[n - 1]) == k - 1,
+                                Expr::constant(0), Expr::var(x[n - 1]) + 1u);
+    root.actions.push_back(action("advance", has_token(0)).assign(x[0], bump));
+    program->add_process(std::move(root));
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    prog::Process p;
+    p.name = "p" + std::to_string(i);
+    p.reads = {x[i - 1], x[i]};
+    p.writes = {x[i]};
+    p.actions.push_back(
+        action("pass", has_token(i)).assign(x[i], Expr::var(x[i - 1])));
+    program->add_process(std::move(p));
+  }
+
+  // Transient faults corrupt any one counter.
+  for (std::size_t i = 0; i < n; ++i) {
+    program->add_fault(
+        action("corrupt-x" + std::to_string(i), Expr::bool_const(true))
+            .havoc_var(x[i]));
+  }
+
+  // Invariant: exactly one token.
+  Expr exactly_one = Expr::bool_const(false);
+  for (std::size_t i = 0; i < n; ++i) {
+    Expr only_i = has_token(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) only_i = only_i && !has_token(j);
+    }
+    exactly_one = exactly_one || only_i;
+  }
+  program->set_invariant(exactly_one);
+
+  return program;
+}
+
+}  // namespace lr::cs

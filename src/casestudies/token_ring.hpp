@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "program/distributed_program.hpp"
+
+namespace lr::cs {
+
+/// Parameters of the token-ring case study (Dijkstra's K-state ring).
+struct TokenRingOptions {
+  /// Number of processes around the ring (including the root).
+  std::size_t processes = 4;
+  /// Counter domain K. Dijkstra's ring self-stabilizes when K >= processes;
+  /// smaller K makes the repair problem harder or unsolvable — useful for
+  /// negative tests.
+  std::uint32_t domain = 4;
+  bdd::Manager::Options manager_options = {};
+};
+
+/// Builds Dijkstra's K-state self-stabilizing token ring as a repair
+/// problem:
+///
+/// Variables x_0 .. x_{n-1} over {0..K-1}. The root p_0 holds the token
+/// when x_0 = x_{n-1} and passes it by x_0 := x_{n-1} + 1 mod K; process
+/// p_i (i > 0) holds the token when x_i ≠ x_{i-1} and passes it by
+/// x_i := x_{i-1}. Each process reads only its own and its left neighbor's
+/// counter and writes its own.
+///
+/// Invariant: exactly one process holds the token. Faults corrupt any
+/// single counter; the safety specification is empty (mutual exclusion is
+/// re-established by convergence, which is what masking tolerance with an
+/// empty safety specification demands).
+[[nodiscard]] std::unique_ptr<prog::DistributedProgram> make_token_ring(
+    const TokenRingOptions& options);
+
+}  // namespace lr::cs

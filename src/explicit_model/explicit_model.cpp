@@ -1,0 +1,341 @@
+#include "explicit_model/explicit_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lr::xmodel {
+
+ExplicitModel::ExplicitModel(prog::DistributedProgram& program,
+                             std::size_t max_states)
+    : program_(program) {
+  sym::Space& space = program.space();
+  domains_.reserve(space.variable_count());
+  radix_.reserve(space.variable_count());
+  for (sym::VarId v = 0; v < space.variable_count(); ++v) {
+    const std::uint32_t domain = space.info(v).domain;
+    domains_.push_back(domain);
+    radix_.push_back(num_states_);
+    if (num_states_ > max_states / domain + 1) {
+      throw std::invalid_argument(
+          "ExplicitModel: state space too large for explicit checking");
+    }
+    num_states_ *= domain;
+  }
+  if (num_states_ > max_states) {
+    throw std::invalid_argument(
+        "ExplicitModel: state space too large for explicit checking");
+  }
+}
+
+std::size_t ExplicitModel::encode(
+    std::span<const std::uint32_t> values) const {
+  std::size_t index = 0;
+  for (std::size_t v = 0; v < domains_.size(); ++v) {
+    index += values[v] * radix_[v];
+  }
+  return index;
+}
+
+std::vector<std::uint32_t> ExplicitModel::decode(std::size_t index) const {
+  std::vector<std::uint32_t> values(domains_.size());
+  for (std::size_t v = 0; v < domains_.size(); ++v) {
+    values[v] = static_cast<std::uint32_t>(index / radix_[v] % domains_[v]);
+  }
+  return values;
+}
+
+std::vector<bool> ExplicitModel::states_of(const bdd::Bdd& set) {
+  std::vector<bool> bitmap(num_states_, false);
+  program_.space().foreach_state(set,
+                                 [&](std::span<const std::uint32_t> values) {
+                                   bitmap[encode(values)] = true;
+                                 });
+  return bitmap;
+}
+
+std::vector<std::vector<std::uint32_t>> ExplicitModel::adjacency_of(
+    const bdd::Bdd& rel) {
+  std::vector<std::vector<std::uint32_t>> adjacency(num_states_);
+  program_.space().foreach_transition(
+      rel, [&](std::span<const std::uint32_t> from,
+               std::span<const std::uint32_t> to) {
+        adjacency[encode(from)].push_back(
+            static_cast<std::uint32_t>(encode(to)));
+      });
+  return adjacency;
+}
+
+std::vector<bool> ExplicitModel::reachable_from(
+    const std::vector<bool>& from,
+    const std::vector<std::vector<std::uint32_t>>& adjacency) const {
+  std::vector<bool> seen(num_states_, false);
+  std::deque<std::uint32_t> queue;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (from[s]) {
+      seen[s] = true;
+      queue.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t s = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t t : adjacency[s]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return seen;
+}
+
+void ExplicitModel::fail(Report& report, const std::string& message) const {
+  report.failures.push_back(message);
+}
+
+ExplicitModel::Report ExplicitModel::verify(
+    const repair::RepairResult& result) {
+  Report report;
+  if (!result.success) {
+    fail(report, "result is not marked successful");
+    return report;
+  }
+  sym::Space& space = program_.space();
+
+  // --- Extract everything once --------------------------------------------------
+  const std::vector<bool> s_orig = states_of(program_.invariant());
+  const std::vector<bool> s_new = states_of(result.invariant);
+  const std::vector<bool> bad_states = states_of(program_.safety().bad_states);
+  auto delta_orig = adjacency_of(program_.program_delta());
+  auto faults = adjacency_of(program_.fault_delta());
+
+  std::vector<std::vector<std::vector<std::uint32_t>>> process_adj;
+  process_adj.reserve(result.process_deltas.size());
+  std::vector<std::vector<std::uint32_t>> actions(num_states_);
+  for (const bdd::Bdd& dj : result.process_deltas) {
+    process_adj.push_back(adjacency_of(dj));
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      for (const std::uint32_t t : process_adj.back()[s]) {
+        actions[s].push_back(t);
+      }
+    }
+  }
+  // Definition 18: stutter where no action is enabled.
+  std::vector<std::vector<std::uint32_t>> delta(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    delta[s] = actions[s];
+    if (delta[s].empty()) delta[s].push_back(static_cast<std::uint32_t>(s));
+  }
+
+  // Bad-transition membership by direct BDD evaluation (the bad-transition
+  // relation is typically huge — a fraction of the whole transition space —
+  // so enumerating it would dwarf everything else here).
+  bdd::Manager& mgr = space.manager();
+  const std::unique_ptr<bool[]> bits(new bool[mgr.var_count()]());
+  auto is_bad_step = [&](std::size_t a, std::size_t b) {
+    const auto from = decode(a);
+    const auto to = decode(b);
+    for (sym::VarId v = 0; v < space.variable_count(); ++v) {
+      const sym::VariableInfo& info = space.info(v);
+      for (std::uint32_t k = 0; k < info.bits; ++k) {
+        bits[info.cur_bits[k]] = ((from[v] >> k) & 1u) != 0;
+        bits[info.next_bits[k]] = ((to[v] >> k) & 1u) != 0;
+      }
+    }
+    return mgr.eval(program_.safety().bad_trans,
+                    std::span<const bool>(bits.get(), mgr.var_count()));
+  };
+
+  // --- Invariant requirements ------------------------------------------------------
+  bool any_invariant = false;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (!s_new[s]) continue;
+    any_invariant = true;
+    if (!s_orig[s]) {
+      fail(report, "S' contains a state outside S: " +
+                       space.state_to_string(decode(s)));
+      break;
+    }
+  }
+  if (!any_invariant) fail(report, "S' is empty");
+
+  // δ'|S' ⊆ δ_P|S' and closure of S'.
+  for (std::size_t s = 0; s < num_states_ && report.failures.size() < 8; ++s) {
+    if (!s_new[s]) continue;
+    for (const std::uint32_t t : delta[s]) {
+      if (!s_new[t]) {
+        fail(report, "S' not closed at " + space.state_to_string(decode(s)));
+        break;
+      }
+      if (std::find(delta_orig[s].begin(), delta_orig[s].end(), t) ==
+          delta_orig[s].end()) {
+        fail(report,
+             "new behavior inside S' at " + space.state_to_string(decode(s)));
+        break;
+      }
+    }
+  }
+
+  // --- Fault span and safety --------------------------------------------------------
+  // Reach of δ' ∪ f from S'.
+  std::vector<std::vector<std::uint32_t>> delta_and_faults(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    delta_and_faults[s] = delta[s];
+    delta_and_faults[s].insert(delta_and_faults[s].end(), faults[s].begin(),
+                               faults[s].end());
+  }
+  const std::vector<bool> span = reachable_from(s_new, delta_and_faults);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (!span[s]) continue;
+    if (bad_states[s]) {
+      fail(report, "bad state reachable: " + space.state_to_string(decode(s)));
+      break;
+    }
+  }
+  for (std::size_t s = 0; s < num_states_ && report.failures.size() < 8; ++s) {
+    if (!span[s]) continue;
+    for (const std::uint32_t t : delta_and_faults[s]) {
+      if (is_bad_step(s, t)) {
+        fail(report, "bad transition executable from " +
+                         space.state_to_string(decode(s)));
+        break;
+      }
+    }
+  }
+
+  // --- Recovery: every fault-free suffix from the span reaches S' --------------------
+  // (a) A stutter state in the span must be a legitimate terminal in S'.
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (!span[s] || !actions[s].empty()) continue;
+    const bool original_terminal =
+        std::find(delta_orig[s].begin(), delta_orig[s].end(),
+                  static_cast<std::uint32_t>(s)) != delta_orig[s].end();
+    if (!s_new[s] || !original_terminal) {
+      fail(report, "illegitimate deadlock at " +
+                       space.state_to_string(decode(s)));
+      break;
+    }
+  }
+  // (b) No cycle of program transitions stays outside S' (iterative DFS
+  // with colors over span \ S').
+  {
+    std::vector<std::uint8_t> color(num_states_, 0);  // 0 white 1 grey 2 black
+    bool cycle = false;
+    for (std::size_t root = 0; root < num_states_ && !cycle; ++root) {
+      if (!span[root] || s_new[root] || color[root] != 0) continue;
+      std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+      stack.push_back({static_cast<std::uint32_t>(root), 0});
+      color[root] = 1;
+      while (!stack.empty() && !cycle) {
+        auto& [s, next_child] = stack.back();
+        const auto& succ = actions[s];
+        bool descended = false;
+        while (next_child < succ.size()) {
+          const std::uint32_t t = succ[next_child++];
+          if (s_new[t] || !span[t]) continue;  // leaving the region is fine
+          if (color[t] == 1) {
+            cycle = true;
+            fail(report, "livelock outside S' through " +
+                             space.state_to_string(decode(t)));
+            break;
+          }
+          if (color[t] == 0) {
+            color[t] = 1;
+            stack.push_back({t, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && !cycle) {
+          color[s] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // --- Realizability (Definitions 17, 19, 20) -----------------------------------------
+  for (std::size_t j = 0; j < result.process_deltas.size(); ++j) {
+    const prog::Process& proc = program_.process(j);
+    std::vector<bool> writable(domains_.size(), false);
+    for (const sym::VarId w : proc.writes) writable[w] = true;
+    std::vector<bool> readable(domains_.size(), false);
+    for (const sym::VarId r : proc.reads) readable[r] = true;
+
+    // Pack transitions of δ_j into a set for the group check.
+    std::unordered_set<std::uint64_t> in_dj;
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      for (const std::uint32_t t : process_adj[j][s]) {
+        in_dj.insert(static_cast<std::uint64_t>(s) << 32 | t);
+      }
+    }
+
+    bool process_ok = true;
+    for (std::size_t s = 0; s < num_states_ && process_ok; ++s) {
+      const auto from = decode(s);
+      for (const std::uint32_t t : process_adj[j][s]) {
+        const auto to = decode(t);
+        if (s == t) {
+          fail(report, "self-loop in delta_" + proc.name);
+          process_ok = false;
+          break;
+        }
+        // Write restriction.
+        for (std::size_t v = 0; v < domains_.size(); ++v) {
+          if (!writable[v] && from[v] != to[v]) {
+            fail(report, "write restriction violated by " + proc.name);
+            process_ok = false;
+            break;
+          }
+        }
+        if (!process_ok) break;
+        // Read restriction: enumerate every valuation of the unreadable
+        // variables (kept equal across the transition) and demand the
+        // corresponding member of group_j(s, t).
+        std::vector<sym::VarId> unreadable;
+        for (sym::VarId v = 0; v < domains_.size(); ++v) {
+          if (!readable[v]) unreadable.push_back(v);
+        }
+        std::vector<std::uint32_t> member_from = from;
+        std::vector<std::uint32_t> member_to = to;
+        // Odometer over the unreadable variables.
+        std::vector<std::uint32_t> counter(unreadable.size(), 0);
+        bool done = unreadable.empty();
+        bool group_ok = true;
+        while (true) {
+          for (std::size_t i = 0; i < unreadable.size(); ++i) {
+            member_from[unreadable[i]] = counter[i];
+            member_to[unreadable[i]] = counter[i];
+          }
+          const std::uint64_t key =
+              static_cast<std::uint64_t>(encode(member_from)) << 32 |
+              encode(member_to);
+          if (in_dj.count(key) == 0) {
+            group_ok = false;
+            break;
+          }
+          if (done) break;
+          std::size_t i = 0;
+          while (i < counter.size() && ++counter[i] == domains_[unreadable[i]]) {
+            counter[i++] = 0;
+          }
+          if (i == counter.size()) break;
+        }
+        if (!group_ok) {
+          fail(report, "read restriction (group) violated by " + proc.name +
+                           " at " + space.state_to_string(from));
+          process_ok = false;
+          break;
+        }
+      }
+    }
+  }
+
+  report.ok = report.failures.empty();
+  return report;
+}
+
+}  // namespace lr::xmodel

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/distributed_program.hpp"
+#include "repair/types.hpp"
+
+namespace lr::xmodel {
+
+/// Explicit-state mirror of a DistributedProgram, used to cross-validate
+/// the symbolic machinery on small instances: every BDD-level answer
+/// (reachability, masking tolerance, realizability) is re-derived here with
+/// plain graph algorithms and direct enumeration straight from the
+/// definitions of Section II/III — no BDDs on the checking path beyond the
+/// initial extraction of transition lists.
+class ExplicitModel {
+ public:
+  /// Builds the mirror. Throws std::invalid_argument when the state space
+  /// exceeds `max_states` (the mirror is quadratic-ish; keep it small).
+  explicit ExplicitModel(prog::DistributedProgram& program,
+                         std::size_t max_states = 1u << 22);
+
+  [[nodiscard]] std::size_t state_count() const noexcept { return num_states_; }
+
+  /// Mixed-radix encoding of variable values to a state index.
+  [[nodiscard]] std::size_t encode(std::span<const std::uint32_t> values) const;
+
+  /// Inverse of encode().
+  [[nodiscard]] std::vector<std::uint32_t> decode(std::size_t index) const;
+
+  /// Extracts a state predicate as a bitmap indexed by state.
+  [[nodiscard]] std::vector<bool> states_of(const bdd::Bdd& set);
+
+  /// Extracts a transition predicate as an adjacency list.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> adjacency_of(
+      const bdd::Bdd& rel);
+
+  /// Forward reachability by plain BFS.
+  [[nodiscard]] std::vector<bool> reachable_from(
+      const std::vector<bool>& from,
+      const std::vector<std::vector<std::uint32_t>>& adjacency) const;
+
+  /// Explicit verdict on a repair result; `failures` lists every violated
+  /// requirement in human-readable form.
+  struct Report {
+    bool ok = false;
+    std::vector<std::string> failures;
+  };
+
+  /// Re-checks masking fault-tolerance and realizability of `result`
+  /// against the program, straight from Definitions 15, 19 and 20.
+  [[nodiscard]] Report verify(const repair::RepairResult& result);
+
+ private:
+  void fail(Report& report, const std::string& message) const;
+
+  prog::DistributedProgram& program_;
+  std::size_t num_states_ = 1;
+  std::vector<std::uint32_t> domains_;
+  std::vector<std::size_t> radix_;  // radix_[v] = stride of variable v
+};
+
+}  // namespace lr::xmodel

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/expr.hpp"
+
+namespace lr::lang {
+
+/// One deterministic-or-nondeterministic assignment `v' ∈ {e_1, .., e_k}`.
+/// A single alternative is an ordinary assignment `v := e`.
+struct Assignment {
+  sym::VarId var;
+  std::vector<Expr> alternatives;
+};
+
+/// A guarded command `name: guard --> assignments` (the paper's action
+/// notation, Section VI).
+///
+/// Semantics as a transition predicate:
+///   guard(s)  ∧  (∧ over assignments: v' = e_i(s) for some alternative i)
+///   ∧ (v' = v for every variable neither assigned nor havoced)
+///   ∧ (the next state is domain-valid)
+///
+/// `havoc` lists variables whose next value is unconstrained (used to model
+/// byzantine writes: `b.j --> d.j := arbitrary`). Guards normally read the
+/// current state only; they may also reference next-state values
+/// (Expr::next) for fully relational constraints.
+struct Action {
+  std::string name;
+  Expr guard;
+  std::vector<Assignment> assigns;
+  std::vector<sym::VarId> havoc;
+
+  /// Fluent helpers so case studies read like the paper's actions.
+  Action&& assign(sym::VarId v, Expr e) && {
+    assigns.push_back({v, {std::move(e)}});
+    return std::move(*this);
+  }
+  Action&& choose(sym::VarId v, std::vector<Expr> alternatives) && {
+    assigns.push_back({v, std::move(alternatives)});
+    return std::move(*this);
+  }
+  Action&& havoc_var(sym::VarId v) && {
+    havoc.push_back(v);
+    return std::move(*this);
+  }
+};
+
+/// Creates an action with the given name and guard (chain assign/choose).
+[[nodiscard]] inline Action action(std::string name, Expr guard) {
+  Action a;
+  a.name = std::move(name);
+  a.guard = std::move(guard);
+  return a;
+}
+
+/// Lowers an action to its transition predicate over `space`.
+/// Throws std::invalid_argument for ill-typed guards, duplicate
+/// assignments, or assignment/havoc conflicts.
+[[nodiscard]] bdd::Bdd compile_action(sym::Space& space, const Action& a);
+
+/// Lowers a list of actions to the union of their transition predicates.
+[[nodiscard]] bdd::Bdd compile_actions(sym::Space& space,
+                                       std::span<const Action> actions);
+
+}  // namespace lr::lang

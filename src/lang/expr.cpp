@@ -1,0 +1,318 @@
+#include "lang/expr.hpp"
+
+#include <stdexcept>
+
+namespace lr::lang {
+
+namespace {
+
+[[noreturn]] void type_error(const std::string& what) {
+  throw std::invalid_argument("Expr: " + what);
+}
+
+}  // namespace
+
+// --- Construction ---------------------------------------------------------------
+
+Expr Expr::make(Kind kind, std::vector<Expr> children) {
+  for (const Expr& c : children) {
+    if (c.empty()) type_error("operand is an empty expression");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->children = std::move(children);
+  return Expr(std::move(node));
+}
+
+Expr Expr::constant(std::uint32_t value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kIntConst;
+  node->value = value;
+  return Expr(std::move(node));
+}
+
+Expr Expr::bool_const(bool value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kBoolConst;
+  node->value = value ? 1 : 0;
+  return Expr(std::move(node));
+}
+
+Expr Expr::var(sym::VarId v) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kVar;
+  node->value = v;
+  node->version = sym::Version::kCurrent;
+  return Expr(std::move(node));
+}
+
+Expr Expr::next(sym::VarId v) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kVar;
+  node->value = v;
+  node->version = sym::Version::kNext;
+  return Expr(std::move(node));
+}
+
+Expr Expr::ite(const Expr& cond, const Expr& then_e, const Expr& else_e) {
+  return make(Kind::kIte, {cond, then_e, else_e});
+}
+
+const Expr::Node& Expr::node() const {
+  if (node_ == nullptr) type_error("use of empty expression");
+  return *node_;
+}
+
+Expr::Kind Expr::kind() const { return node().kind; }
+
+bool Expr::is_boolean() const {
+  switch (node().kind) {
+    case Kind::kBoolConst:
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kImplies:
+    case Kind::kIff:
+    case Kind::kEq:
+    case Kind::kNe:
+    case Kind::kLt:
+    case Kind::kLe:
+    case Kind::kGt:
+    case Kind::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Expr::to_string() const { return to_string_impl(node(), nullptr); }
+
+std::string Expr::to_string(const sym::Space& space) const {
+  return to_string_impl(node(), &space);
+}
+
+std::string Expr::to_string_impl(const Node& n, const sym::Space* space) {
+  auto sub = [&](const Expr& child) {
+    return to_string_impl(child.node(), space);
+  };
+  auto binary = [&](const char* op) {
+    return "(" + sub(n.children[0]) + " " + op + " " + sub(n.children[1]) +
+           ")";
+  };
+  switch (n.kind) {
+    case Kind::kBoolConst:
+      return n.value != 0 ? "true" : "false";
+    case Kind::kIntConst:
+      return std::to_string(n.value);
+    case Kind::kVar: {
+      const std::string name =
+          space != nullptr ? space->info(n.value).name
+                           : "v" + std::to_string(n.value);
+      return n.version == sym::Version::kNext ? "next(" + name + ")" : name;
+    }
+    case Kind::kNot:
+      return "!" + sub(n.children[0]);
+    case Kind::kAnd:
+      return binary("&&");
+    case Kind::kOr:
+      return binary("||");
+    case Kind::kImplies:
+      return "(!" + sub(n.children[0]) + " || " + sub(n.children[1]) + ")";
+    case Kind::kIff:
+      return "(" + sub(n.children[0]) + " == " + sub(n.children[1]) + ")";
+    case Kind::kEq:
+      return binary("==");
+    case Kind::kNe:
+      return binary("!=");
+    case Kind::kLt:
+      return binary("<");
+    case Kind::kLe:
+      return binary("<=");
+    case Kind::kGt:
+      return binary(">");
+    case Kind::kGe:
+      return binary(">=");
+    case Kind::kAdd:
+      return binary("+");
+    case Kind::kSub:
+      return binary("-");
+    case Kind::kIte:
+      return "ite(" + sub(n.children[0]) + ", " + sub(n.children[1]) + ", " +
+             sub(n.children[2]) + ")";
+  }
+  return "?";
+}
+
+// --- Operator sugar -----------------------------------------------------------------
+
+Expr Expr::operator==(const Expr& rhs) const { return make(Kind::kEq, {*this, rhs}); }
+Expr Expr::operator!=(const Expr& rhs) const { return make(Kind::kNe, {*this, rhs}); }
+Expr Expr::operator<(const Expr& rhs) const { return make(Kind::kLt, {*this, rhs}); }
+Expr Expr::operator<=(const Expr& rhs) const { return make(Kind::kLe, {*this, rhs}); }
+Expr Expr::operator>(const Expr& rhs) const { return make(Kind::kGt, {*this, rhs}); }
+Expr Expr::operator>=(const Expr& rhs) const { return make(Kind::kGe, {*this, rhs}); }
+Expr Expr::operator&&(const Expr& rhs) const { return make(Kind::kAnd, {*this, rhs}); }
+Expr Expr::operator||(const Expr& rhs) const { return make(Kind::kOr, {*this, rhs}); }
+Expr Expr::operator!() const { return make(Kind::kNot, {*this}); }
+Expr Expr::implies(const Expr& rhs) const { return make(Kind::kImplies, {*this, rhs}); }
+Expr Expr::iff(const Expr& rhs) const { return make(Kind::kIff, {*this, rhs}); }
+Expr Expr::operator+(const Expr& rhs) const { return make(Kind::kAdd, {*this, rhs}); }
+Expr Expr::operator-(const Expr& rhs) const { return make(Kind::kSub, {*this, rhs}); }
+
+Expr Expr::operator==(std::uint32_t rhs) const { return *this == constant(rhs); }
+Expr Expr::operator!=(std::uint32_t rhs) const { return *this != constant(rhs); }
+Expr Expr::operator<(std::uint32_t rhs) const { return *this < constant(rhs); }
+Expr Expr::operator<=(std::uint32_t rhs) const { return *this <= constant(rhs); }
+Expr Expr::operator>(std::uint32_t rhs) const { return *this > constant(rhs); }
+Expr Expr::operator>=(std::uint32_t rhs) const { return *this >= constant(rhs); }
+Expr Expr::operator+(std::uint32_t rhs) const { return *this + constant(rhs); }
+Expr Expr::operator-(std::uint32_t rhs) const { return *this - constant(rhs); }
+
+// --- Compilation -----------------------------------------------------------------------
+
+bdd::Bdd Compiler::compile_bool(const Expr& e) {
+  const auto& n = e.node();
+  bdd::Manager& mgr = space_.manager();
+  switch (n.kind) {
+    case Expr::Kind::kBoolConst:
+      return n.value != 0 ? mgr.bdd_true() : mgr.bdd_false();
+    case Expr::Kind::kNot:
+      return ~compile_bool(n.children[0]);
+    case Expr::Kind::kAnd:
+      return compile_bool(n.children[0]) & compile_bool(n.children[1]);
+    case Expr::Kind::kOr:
+      return compile_bool(n.children[0]) | compile_bool(n.children[1]);
+    case Expr::Kind::kImplies:
+      return compile_bool(n.children[0]).implies(compile_bool(n.children[1]));
+    case Expr::Kind::kIff:
+      return compile_bool(n.children[0]).iff(compile_bool(n.children[1]));
+    case Expr::Kind::kEq:
+      return bits_eq(compile_bits(n.children[0]),
+                     compile_bits(n.children[1]));
+    case Expr::Kind::kNe:
+      return ~bits_eq(compile_bits(n.children[0]),
+                      compile_bits(n.children[1]));
+    case Expr::Kind::kLt:
+      return bits_lt(compile_bits(n.children[0]),
+                     compile_bits(n.children[1]));
+    case Expr::Kind::kLe:
+      return ~bits_lt(compile_bits(n.children[1]),
+                      compile_bits(n.children[0]));
+    case Expr::Kind::kGt:
+      return bits_lt(compile_bits(n.children[1]),
+                     compile_bits(n.children[0]));
+    case Expr::Kind::kGe:
+      return ~bits_lt(compile_bits(n.children[0]),
+                      compile_bits(n.children[1]));
+    default:
+      throw std::invalid_argument(
+          "Compiler::compile_bool: numeric expression used as boolean: " +
+          e.to_string());
+  }
+}
+
+std::vector<bdd::Bdd> Compiler::compile_bits(const Expr& e) {
+  const auto& n = e.node();
+  bdd::Manager& mgr = space_.manager();
+  switch (n.kind) {
+    case Expr::Kind::kIntConst: {
+      std::vector<bdd::Bdd> bits;
+      std::uint32_t v = n.value;
+      do {
+        bits.push_back((v & 1u) != 0 ? mgr.bdd_true() : mgr.bdd_false());
+        v >>= 1;
+      } while (v != 0);
+      return bits;
+    }
+    case Expr::Kind::kVar: {
+      const sym::VariableInfo& info = space_.info(n.value);
+      const auto& vbits = n.version == sym::Version::kCurrent
+                              ? info.cur_bits
+                              : info.next_bits;
+      std::vector<bdd::Bdd> bits;
+      bits.reserve(vbits.size());
+      for (const bdd::VarIndex b : vbits) bits.push_back(mgr.bdd_var(b));
+      return bits;
+    }
+    case Expr::Kind::kAdd: {
+      const auto a = compile_bits(n.children[0]);
+      const auto b = compile_bits(n.children[1]);
+      const std::size_t width = std::max(a.size(), b.size());
+      std::vector<bdd::Bdd> sum;
+      sum.reserve(width + 1);
+      bdd::Bdd carry = mgr.bdd_false();
+      for (std::size_t i = 0; i < width; ++i) {
+        const bdd::Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+        const bdd::Bdd bi = i < b.size() ? b[i] : mgr.bdd_false();
+        sum.push_back(ai ^ bi ^ carry);
+        carry = (ai & bi) | (carry & (ai ^ bi));
+      }
+      sum.push_back(carry);  // extra bit: no silent wraparound
+      return sum;
+    }
+    case Expr::Kind::kSub: {
+      // a - b via two's complement within max(width)+1 bits; callers use it
+      // for comparisons/decrements where the result is known non-negative.
+      const auto a = compile_bits(n.children[0]);
+      const auto b = compile_bits(n.children[1]);
+      const std::size_t width = std::max(a.size(), b.size()) + 1;
+      std::vector<bdd::Bdd> diff;
+      diff.reserve(width);
+      bdd::Bdd borrow = mgr.bdd_false();
+      for (std::size_t i = 0; i < width; ++i) {
+        const bdd::Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+        const bdd::Bdd bi = i < b.size() ? b[i] : mgr.bdd_false();
+        diff.push_back(ai ^ bi ^ borrow);
+        borrow = ((~ai) & (bi | borrow)) | (bi & borrow);
+      }
+      return diff;
+    }
+    case Expr::Kind::kIte: {
+      const bdd::Bdd cond = compile_bool(n.children[0]);
+      const auto a = compile_bits(n.children[1]);
+      const auto b = compile_bits(n.children[2]);
+      const std::size_t width = std::max(a.size(), b.size());
+      std::vector<bdd::Bdd> out;
+      out.reserve(width);
+      for (std::size_t i = 0; i < width; ++i) {
+        const bdd::Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+        const bdd::Bdd bi = i < b.size() ? b[i] : mgr.bdd_false();
+        out.push_back(cond.ite(ai, bi));
+      }
+      return out;
+    }
+    default:
+      throw std::invalid_argument(
+          "Compiler::compile_bits: boolean expression used as numeric: " +
+          e.to_string());
+  }
+}
+
+bdd::Bdd Compiler::bits_eq(const std::vector<bdd::Bdd>& a,
+                           const std::vector<bdd::Bdd>& b) {
+  bdd::Manager& mgr = space_.manager();
+  bdd::Bdd result = mgr.bdd_true();
+  const std::size_t width = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    const bdd::Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+    const bdd::Bdd bi = i < b.size() ? b[i] : mgr.bdd_false();
+    result &= ai.iff(bi);
+  }
+  return result;
+}
+
+bdd::Bdd Compiler::bits_lt(const std::vector<bdd::Bdd>& a,
+                           const std::vector<bdd::Bdd>& b) {
+  bdd::Manager& mgr = space_.manager();
+  // a < b: scan LSB to MSB, later (more significant) bits dominate.
+  bdd::Bdd result = mgr.bdd_false();
+  const std::size_t width = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    const bdd::Bdd ai = i < a.size() ? a[i] : mgr.bdd_false();
+    const bdd::Bdd bi = i < b.size() ? b[i] : mgr.bdd_false();
+    result = ((~ai) & bi) | (ai.iff(bi) & result);
+  }
+  return result;
+}
+
+}  // namespace lr::lang

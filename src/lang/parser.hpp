@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "program/distributed_program.hpp"
+
+namespace lr::lang {
+
+/// Error raised by the model parser; carries a line number and message.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses the textual model format into a DistributedProgram.
+///
+/// The format (see models/*.lr for full examples):
+///
+/// ```
+/// program name;
+/// var x : 0..3;                      // finite-domain variable
+/// var d.g : 0..1;                    // dots allowed in identifiers
+///
+/// process p0 {
+///   reads x, d.g;
+///   writes x;
+///   action reset: x == 1 -> x := 0;            // guarded command
+///   action pick:  x == 0 -> x := {1, 2};       // nondeterministic choice
+/// }
+///
+/// fault glitch: x == 0 -> x := 1;              // faults: same syntax,
+/// fault chaos:  true   -> havoc x;             // no read/write limits
+///
+/// invariant x == 0;                            // conjoined if repeated
+/// bad_state x == 3;                            // disjoined if repeated
+/// bad_transition x == 1 && next(x) != 1;       // next(v) = post-state
+/// ```
+///
+/// Expressions support || && ! == != < <= > >= + - integer literals,
+/// true/false, ite(c, a, b) and parentheses. Throws ParseError on
+/// malformed input.
+[[nodiscard]] std::unique_ptr<prog::DistributedProgram> parse_program(
+    const std::string& source);
+
+/// Reads `path` and parses it.
+[[nodiscard]] std::unique_ptr<prog::DistributedProgram> parse_program_file(
+    const std::string& path);
+
+}  // namespace lr::lang

@@ -1,0 +1,178 @@
+#include "repair/add_masking.hpp"
+
+#include <algorithm>
+
+namespace lr::repair {
+
+namespace {
+
+/// Removes deadlock states: the largest subset of `states` in which every
+/// state has a `rel`-successor inside the subset (ConstructInvariant of
+/// ref [1]).
+bdd::Bdd construct_invariant(sym::Space& space, bdd::Bdd states,
+                             const bdd::Bdd& rel) {
+  while (true) {
+    const bdd::Bdd alive = states & space.preimage(rel, states);
+    if (alive == states) return states;
+    states = alive;
+  }
+}
+
+}  // namespace
+
+StepOneResult add_masking(prog::DistributedProgram& program,
+                          const bdd::Bdd& start_invariant,
+                          const bdd::Bdd& extra_bad_trans,
+                          const bdd::Bdd& context_in, const Options& options,
+                          Stats& stats) {
+  sym::Space& space = program.space();
+  bdd::Manager& mgr = space.manager();
+
+  const bdd::Bdd delta_p = program.program_delta();
+  const bdd::Bdd faults = program.fault_delta();
+  const bdd::Bdd valid_cur = space.valid(sym::Version::kCurrent);
+  const bdd::Bdd valid_pair = space.valid_pair();
+  // Nonmasking tolerance ignores the safety specification entirely: only
+  // recovery matters (deadlock bans still arrive via extra_bad_trans).
+  const bool use_safety = options.level != ToleranceLevel::kNonmasking;
+  const bdd::Bdd bad_states =
+      use_safety ? program.safety().bad_states : space.bdd_false();
+  const bdd::Bdd bad_trans =
+      (use_safety ? program.safety().bad_trans : space.bdd_false()) |
+      extra_bad_trans;
+  const bdd::Bdd s_orig = start_invariant;
+
+  // Candidate recovery respects the *write* restrictions (some process must
+  // be able to execute it); only the read restrictions — the NP-hard part —
+  // are deferred to Step 2. Arbitrary multi-process jumps would be thrown
+  // away wholesale by Step 2 anyway, starving recovery.
+  bdd::Bdd writable = space.bdd_false();
+  for (std::size_t j = 0; j < program.process_count(); ++j) {
+    writable |= program.respects_write(j);
+  }
+
+  StepOneResult result;
+  if (s_orig.is_false()) return result;
+
+  // The heuristic of Section V-A: only repair over the states the
+  // fault-intolerant program visits in the presence of faults (or a caller-
+  // provided refinement thereof).
+  bdd::Bdd context = context_in;
+  if (!context.valid()) {
+    context = valid_cur;
+    if (options.restrict_to_reachable) {
+      context =
+          space.forward_reachable(program.transition_partitions(), s_orig);
+    }
+  }
+  stats.reachable_states = space.count_states(context);
+
+  // --- ms: states from which one or more fault steps violate safety ----------
+  bdd::Bdd ms = (bad_states |
+                 mgr.exists(faults & bad_trans, space.cube(sym::Version::kNext))) &
+                context;
+  while (true) {
+    const bdd::Bdd grown = (ms | space.preimage(faults, ms)) & context;
+    if (grown == ms) break;
+    ms = grown;
+  }
+
+  // --- mt: transitions the fault-tolerant program must never execute ----------
+  const bdd::Bdd mt = (bad_trans | space.prime(ms)) & valid_pair;
+
+  // --- First guesses S1, T1 ---------------------------------------------------
+  bdd::Bdd s1 = construct_invariant(space, s_orig.minus(ms), delta_p.minus(mt));
+  bdd::Bdd t1 = context.minus(ms);
+
+  if (s1.is_false()) return result;
+
+  // --- Shrink (S1, T1) to the largest consistent pair -------------------------
+  bdd::Bdd p1;
+  while (true) {
+      ++stats.addmasking_rounds;
+      const bdd::Bdd inv_part = (delta_p & s1 & space.prime(s1)).minus(mt);
+      // Proper transitions only: a self-loop outside the invariant would
+      // let the program idle there forever, which recovery must rule out.
+      const bdd::Bdd rec_part =
+          (writable & t1.minus(s1) & space.prime(t1) & valid_pair)
+              .minus(mt)
+              .minus(space.identity());
+      p1 = inv_part | rec_part;
+
+      bdd::Bdd t2 = t1;
+      while (options.level != ToleranceLevel::kFailsafe) {
+        // Drop T states that cannot reach S via available transitions.
+        // (Failsafe tolerance has no recovery obligation: the span keeps
+        // every safe state; it is fault-closed already because ms is
+        // backward-closed under faults and the context is reach-closed.)
+        bdd::Bdd can_recover = s1 & t2;
+        while (true) {
+          const bdd::Bdd grown =
+              can_recover | (t2 & space.preimage(p1, can_recover));
+          if (grown == can_recover) break;
+          can_recover = grown;
+        }
+        bdd::Bdd t2_new = can_recover;
+        // Drop states from which faults escape the span.
+        while (true) {
+          const bdd::Bdd escaping =
+              t2_new & space.preimage(faults, valid_cur.minus(t2_new));
+          if (escaping.is_false()) break;
+          t2_new = t2_new.minus(escaping);
+        }
+        if (t2_new == t2) break;
+        t2 = t2_new;
+      }
+
+      bdd::Bdd s2 = s1 & t2;
+      s2 = construct_invariant(space, s2, p1 & space.prime(s2));
+      if (s2.is_false()) return result;
+
+      if (s2 == s1 && t2 == t1) break;
+      s1 = s2;
+      t1 = t2;
+    }
+
+  // --- Construct δ' with maximal behavior ---------------------------------------
+  // Original behavior is kept wholesale (inside and outside the invariant);
+  // *added* recovery is kept only when it strictly decreases the
+  // backward-BFS layer distance to S1. Potential livelocks formed by mixing
+  // kept original behavior with added recovery are resolved *after* Step 2,
+  // at group granularity, by Algorithm 1 — removing them here transition-
+  // by-transition would destroy the group symmetry Step 2 depends on.
+  const bdd::Bdd inv_part = (delta_p & s1 & space.prime(s1)).minus(mt);
+  const bdd::Bdd outside = t1.minus(s1);
+  // Original behavior outside the invariant is kept wholesale, except
+  // stutter steps: idling outside S1 forever is exactly what masking
+  // tolerance forbids.
+  const bdd::Bdd original_outside =
+      (delta_p & outside & space.prime(t1)).minus(mt).minus(space.identity());
+
+  bdd::Bdd below = s1;
+  bdd::Bdd added = space.bdd_false();
+  bdd::Bdd remaining =
+      options.level == ToleranceLevel::kFailsafe ? space.bdd_false() : outside;
+  stats.recovery_layers = 0;
+  while (!remaining.is_false()) {
+    const bdd::Bdd layer = space.preimage(p1, below) & remaining;
+    if (layer.is_false()) break;
+    added |= p1 & layer & space.prime(below);
+    below |= layer;
+    remaining = remaining.minus(layer);
+    ++stats.recovery_layers;
+  }
+
+  const bdd::Bdd final_delta = inv_part | original_outside | added;
+
+  result.success = true;
+  result.invariant = s1;
+  result.fault_span = t1;
+  result.delta = final_delta;
+  stats.span_states = space.count_states(t1);
+  stats.invariant_states = space.count_states(s1);
+  stats.peak_bdd_nodes =
+      std::max(stats.peak_bdd_nodes, mgr.stats().peak_nodes);
+  return result;
+}
+
+}  // namespace lr::repair

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "program/distributed_program.hpp"
+#include "repair/types.hpp"
+
+namespace lr::repair {
+
+/// Step 1 of lazy repair: the Add-Masking algorithm of Kulkarni-Arora
+/// (ref [1]), run **without** read/write realizability constraints
+/// (Section V-A).
+///
+/// Given the program's transitions δ_P (with Definition-18 stuttering), the
+/// faults f, a candidate invariant `start_invariant` ⊆ S, and the safety
+/// specification extended by `extra_bad_trans` (Algorithm 1 accumulates
+/// deadlock bans there), computes S', T' and a maximal masking
+/// fault-tolerant δ':
+///
+///  1. ms := states from which faults alone can violate safety;
+///     mt := bad transitions ∪ transitions into ms.
+///  2. S1 := largest deadlock-free subset of S − ms closed under δ_P − mt.
+///  3. T1 := search space − ms, where the search space is
+///     Reach(S, δ_P ∪ f) when options.restrict_to_reachable (the paper's
+///     heuristic) and the whole state space otherwise.
+///  4. Shrink (S1, T1) to the largest pair such that every T1 state can
+///     reach S1 via available transitions, faults cannot leave T1, and S1
+///     is deadlock-free and closed.
+///  5. Keep original transitions inside S1 and exactly the recovery
+///     transitions that strictly decrease the backward-BFS layer distance
+///     to S1 (this breaks the cycles in T1 − S1 the paper describes).
+///
+/// Every state removed in step 4 *must* be removed (shown in [1]), which is
+/// what Step 2 relies on to only delete transitions.
+/// `context` is the state set the repair is restricted to (the Section V-A
+/// heuristic). Pass an invalid Bdd to let the function derive it from
+/// `options` (reachable states of the fault-intolerant program, or the
+/// whole space). Algorithm 1 passes progressively smaller contexts as the
+/// realized program's reachable set shrinks.
+[[nodiscard]] StepOneResult add_masking(prog::DistributedProgram& program,
+                                        const bdd::Bdd& start_invariant,
+                                        const bdd::Bdd& extra_bad_trans,
+                                        const bdd::Bdd& context,
+                                        const Options& options, Stats& stats);
+
+}  // namespace lr::repair

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "program/distributed_program.hpp"
+
+namespace lr::repair {
+
+/// Renders a realizable process transition predicate as guarded commands.
+///
+/// Because δ_j satisfies the read restriction, projecting away the
+/// unreadable variables loses nothing; each BDD cube of the projection then
+/// corresponds to a family of transitions "if <readable values> then
+/// <writes>", which is exactly the guarded-command shape a developer would
+/// deploy. Don't-care variables are omitted from the guard.
+///
+/// `restrict_to` limits the rendering to transitions starting in a state
+/// set (typically the fault span — the rest are unreachable don't-cares);
+/// pass an invalid Bdd for no restriction. At most `max_lines` commands are
+/// returned, followed by a "..." marker when truncated.
+[[nodiscard]] std::vector<std::string> describe_process_program(
+    prog::DistributedProgram& program, std::size_t process_index,
+    const bdd::Bdd& delta_j, const bdd::Bdd& restrict_to,
+    std::size_t max_lines = 48);
+
+}  // namespace lr::repair

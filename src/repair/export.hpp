@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "program/distributed_program.hpp"
+#include "repair/types.hpp"
+
+namespace lr::repair {
+
+/// Renders a repair result as a complete model in the textual `.lr`
+/// format: the original variables, faults, invariant and safety
+/// specification, with each process's actions replaced by the
+/// *synthesized* realizable guarded commands (restricted to the fault
+/// span; unreachable don't-cares are dropped).
+///
+/// The output parses back through lang::parse_program and — being already
+/// masking fault-tolerant — re-repairs to itself (the round-trip is
+/// regression-tested). Partial-value cubes are rendered with disjunctive
+/// guards and nondeterministic `{...}` choices, so the export is exact.
+[[nodiscard]] std::string export_model(prog::DistributedProgram& program,
+                                       const RepairResult& result);
+
+}  // namespace lr::repair

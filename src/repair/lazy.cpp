@@ -1,0 +1,170 @@
+#include "repair/lazy.hpp"
+
+#include "repair/add_masking.hpp"
+#include "repair/realize.hpp"
+#include "support/stopwatch.hpp"
+
+namespace lr::repair {
+
+namespace {
+
+/// Removes, group-wise, the transitions that let executions spin outside
+/// the invariant forever. Step 1 keeps original behavior outside the
+/// invariant wholesale and layers only the *added* recovery, so the
+/// realized program may cycle between kept original groups and synthesized
+/// recovery groups; whole groups are removed (synthesized ones first,
+/// original behavior as a last resort) so realizability is preserved.
+void eliminate_livelocks(prog::DistributedProgram& program,
+                         const bdd::Bdd& invariant, const bdd::Bdd& span,
+                         std::vector<bdd::Bdd>& deltas) {
+  sym::Space& space = program.space();
+  const bdd::Bdd outside = span.minus(invariant);
+  for (std::size_t pass = 0; pass < 2 * deltas.size() + 2; ++pass) {
+    bdd::Bdd actions = space.bdd_false();
+    for (const bdd::Bdd& dj : deltas) actions |= dj;
+    bdd::Bdd cycle_states = outside;
+    while (true) {
+      const bdd::Bdd shrunk = space.has_successor_in(actions, cycle_states);
+      if (shrunk == cycle_states) break;
+      cycle_states = shrunk;
+    }
+    if (cycle_states.is_false()) break;
+    const bdd::Bdd on_cycle = cycle_states & space.prime(cycle_states);
+    bool removed_added = false;
+    for (std::size_t j = 0; j < deltas.size(); ++j) {
+      const bdd::Bdd synthesized =
+          (deltas[j] & on_cycle).minus(program.process_delta(j));
+      const bdd::Bdd drop = program.group(j, synthesized);
+      if (!drop.is_false()) {
+        deltas[j] = deltas[j].minus(drop);
+        removed_added = true;
+      }
+    }
+    if (removed_added) continue;
+    // Cycles made purely of original behavior: break them group-wise.
+    for (std::size_t j = 0; j < deltas.size(); ++j) {
+      deltas[j] = deltas[j].minus(program.group(j, deltas[j] & on_cycle));
+    }
+  }
+}
+
+}  // namespace
+
+RepairResult lazy_repair(prog::DistributedProgram& program,
+                         const Options& options) {
+  sym::Space& space = program.space();
+  support::Stopwatch total;
+
+  if (options.sift_before_repair) {
+    (void)program.program_delta();  // compile everything first
+    (void)space.manager().reorder_sifting();
+  }
+
+  RepairResult result;
+  bdd::Bdd candidate_invariant = program.invariant();
+  bdd::Bdd extra_bad_trans = space.bdd_false();
+  const bdd::Bdd identity = space.identity();
+  const bdd::Bdd valid_pair = space.valid_pair();
+  // The Section V-A heuristic's search space, computed once: deadlock bans
+  // only ever shrink the program, so the round-1 reach stays a sound
+  // restriction for every later round.
+  bdd::Bdd context;
+  if (options.restrict_to_reachable) {
+    context =
+        space.forward_reachable(program.transition_partitions(), candidate_invariant);
+  }
+  const std::vector<bdd::Bdd>& fault_parts = program.fault_action_deltas();
+
+  for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
+    ++result.stats.outer_iterations;
+
+    // Step 1: Add-Masking without realizability constraints.
+    support::Stopwatch sw1;
+    const StepOneResult step1 =
+        add_masking(program, candidate_invariant, extra_bad_trans, context,
+                    options, result.stats);
+    result.stats.step1_seconds += sw1.seconds();
+    if (!step1.success) {
+      result.failure_reason = "Add-Masking found no fault-tolerant program";
+      result.stats.total_seconds = total.seconds();
+      return result;
+    }
+
+    // Step 2: enforce the read/write restrictions. The don't-care zone of
+    // Algorithm 2's Line 1 is the complement of δ'’s own reachable set
+    // (every realizable sub-program stays within it), then drop group-wise
+    // whatever would livelock.
+    support::Stopwatch sw2;
+    std::vector<bdd::Bdd> step1_parts{step1.delta};
+    step1_parts.insert(step1_parts.end(), fault_parts.begin(),
+                       fault_parts.end());
+    const bdd::Bdd tolerance =
+        space.forward_reachable(step1_parts, step1.invariant);
+    std::vector<bdd::Bdd> deltas =
+        realize(program, step1.delta, tolerance, options, result.stats);
+    if (options.level != ToleranceLevel::kFailsafe) {
+      eliminate_livelocks(program, step1.invariant, tolerance, deltas);
+    }
+
+    // Reachable span of the realized program (⊆ tolerance by
+    // construction, so Line-1 don't-cares are indeed never executed).
+    std::vector<bdd::Bdd> partitions = deltas;
+    partitions.insert(partitions.end(), fault_parts.begin(), fault_parts.end());
+    const bdd::Bdd realized_span =
+        space.forward_reachable(partitions, step1.invariant);
+
+    // Deadlock check (Algorithm 1 lines 10-12), over the states the
+    // realized program actually visits, generalized to the whole dead
+    // region at once: a state is alive when some successor chain stays
+    // alive (original stutter loops kept by Step 1 keep their states
+    // alive: those states legitimately idle). Banning the backward-closed
+    // dead set in one round replaces the paper's one-layer-per-iteration
+    // peeling; branch transitions from alive states into the dead region
+    // are banned too, which is exactly the paper's Line 11.
+    bdd::Bdd realized = step1.delta & identity;
+    for (const bdd::Bdd& dj : deltas) realized |= dj;
+    bdd::Bdd deadlocks;
+    if (options.level == ToleranceLevel::kFailsafe) {
+      // Failsafe: only the invariant owes progress; stopping after a fault
+      // is allowed. A state of S' whose actions were all dropped (and that
+      // was not already a legitimate terminal) must still be banned.
+      const bdd::Bdd enabled =
+          space.manager().exists(realized, space.cube(sym::Version::kNext));
+      deadlocks = step1.invariant.minus(enabled);
+    } else {
+      bdd::Bdd alive = realized_span;
+      while (true) {
+        const bdd::Bdd shrunk = space.has_successor_in(realized, alive);
+        if (shrunk == alive) break;
+        alive = shrunk;
+      }
+      deadlocks = realized_span.minus(alive);
+    }
+    result.stats.step2_seconds += sw2.seconds();
+
+    if (deadlocks.is_false()) {
+      result.success = true;
+      result.invariant = step1.invariant;
+      result.fault_span = realized_span;
+      result.delta = space.bdd_false();
+      for (const bdd::Bdd& dj : deltas) result.delta |= dj;
+      result.process_deltas = std::move(deltas);
+      result.stats.span_states = space.count_states(realized_span);
+      result.stats.invariant_states = space.count_states(step1.invariant);
+      result.stats.total_seconds = total.seconds();
+      return result;
+    }
+
+    // Ban transitions into the deadlocked states and retry; also withdraw
+    // those states from the invariant so the loop cannot revisit the same
+    // deadlock forever.
+    extra_bad_trans |= space.prime(deadlocks) & valid_pair;
+    candidate_invariant = step1.invariant.minus(deadlocks);
+  }
+
+  result.failure_reason = "outer iteration bound exceeded";
+  result.stats.total_seconds = total.seconds();
+  return result;
+}
+
+}  // namespace lr::repair

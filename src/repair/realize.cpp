@@ -1,0 +1,92 @@
+#include "repair/realize.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lr::repair {
+
+std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
+                              const bdd::Bdd& delta, const bdd::Bdd& tolerance,
+                              const Options& options, Stats& stats) {
+  sym::Space& space = program.space();
+  bdd::Manager& mgr = space.manager();
+
+  const bdd::Bdd valid_cur = space.valid(sym::Version::kCurrent);
+  const bdd::Bdd valid_pair = space.valid_pair();
+  const bdd::Bdd identity = space.identity();
+
+  // Line 1: add every transition that starts outside the fault span.
+  const bdd::Bdd with_outside =
+      delta | (valid_cur.minus(tolerance) & valid_pair);
+  // Self-loops are realized by stuttering, not by grouping.
+  const bdd::Bdd proper = with_outside.minus(identity);
+
+  const bdd::Bdd all_bits_cube =
+      space.cube(sym::Version::kCurrent) & space.cube(sym::Version::kNext);
+
+  std::vector<bdd::Bdd> result;
+  result.reserve(program.process_count());
+
+  for (std::size_t j = 0; j < program.process_count(); ++j) {
+    // Line 5: drop transitions that write outside W_j.
+    bdd::Bdd delta_j_pool = proper & program.respects_write(j);
+    bdd::Bdd accepted = space.bdd_false();
+
+    if (options.group_method == GroupMethod::kOneShot) {
+      // Equivalent one-pass formulation: keep exactly the transitions whose
+      // whole group is present, then restrict to groups that carry span
+      // behavior.
+      const bdd::Bdd closed = program.realizable_subset(j, delta_j_pool);
+      accepted = program.group(j, closed & tolerance);
+    } else {
+      // Lines 7-22 of Algorithm 2. The worklist is restricted to
+      // transitions that start inside the span: groups made purely of
+      // Line-1 don't-cares carry no behavior and need not be enumerated.
+      const prog::Process& proc = program.process(j);
+      std::unordered_set<sym::VarId> writes(proc.writes.begin(),
+                                            proc.writes.end());
+      std::vector<sym::VarId> expandable;  // R_j − W_j
+      for (const sym::VarId v : proc.reads) {
+        if (writes.count(v) == 0) expandable.push_back(v);
+      }
+
+      bdd::Bdd worklist = delta_j_pool & tolerance;
+      while (!worklist.is_false()) {
+        ++stats.group_iterations;
+        // Line 8: choose one transition.
+        const bdd::Bdd chosen = mgr.pick_minterm(worklist, all_bits_cube);
+        // Line 9: its group.
+        bdd::Bdd group = program.group(j, chosen);
+        if (!group.leq(delta_j_pool)) {
+          // Line 11: some member is missing; discard the whole group.
+          delta_j_pool = delta_j_pool.minus(group);
+          worklist = worklist.minus(group);
+          continue;
+        }
+        // Lines 13-18: try to widen the group by dropping readable
+        // variables from the implicit guard.
+        if (options.use_expand_group) {
+          for (const sym::VarId v : expandable) {
+            const sym::VarId vs[1] = {v};
+            const bdd::Bdd widened =
+                mgr.exists(group, space.cube_pair_of(vs)) & space.unchanged(v);
+            if (widened.leq(delta_j_pool)) {
+              group = widened;
+              ++stats.expand_successes;
+            }
+          }
+        }
+        // Lines 19-20.
+        accepted |= group;
+        delta_j_pool = delta_j_pool.minus(group);
+        worklist = worklist.minus(group);
+      }
+    }
+    result.push_back(std::move(accepted));
+  }
+  stats.peak_bdd_nodes =
+      std::max(stats.peak_bdd_nodes, mgr.stats().peak_nodes);
+  return result;
+}
+
+}  // namespace lr::repair

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace lr::repair {
+
+/// How Algorithm 2 decomposes a transition predicate into per-process
+/// groups.
+enum class GroupMethod {
+  /// The paper's loop (Algorithm 2 lines 7-22): pick a transition, build
+  /// its group, expand it variable-by-variable, include or discard.
+  kPaperLoop,
+  /// One universal quantification per process:
+  /// δ_j = Δ_j ∧ ∀U_j,U_j'. (same(U_j) ⇒ Δ_j). Provably computes the same
+  /// set of fully-contained groups; used as an ablation and cross-check.
+  kOneShot,
+};
+
+/// Which level of the fault-tolerance hierarchy to add (Kulkarni-Arora).
+/// The paper's algorithms target masking; the other two levels drop one of
+/// its two obligations and fall out of the same machinery.
+enum class ToleranceLevel {
+  /// Safety only: in the presence of faults the program never violates the
+  /// safety specification, but it may stop making progress (no recovery
+  /// obligation).
+  kFailsafe,
+  /// Recovery only: from every reachable state the program converges back
+  /// to the invariant, but safety may be violated in the meantime.
+  kNonmasking,
+  /// Both: the paper's problem statement.
+  kMasking,
+};
+
+/// Tuning knobs shared by the repair algorithms.
+struct Options {
+  /// Tolerance level to add. Algorithms treat kMasking as in the paper;
+  /// kFailsafe skips the recovery obligations, kNonmasking the safety ones.
+  ToleranceLevel level = ToleranceLevel::kMasking;
+  /// The Step-1 heuristic the paper credits for the speedup: restrict
+  /// Add-Masking's search space to the states the fault-intolerant program
+  /// reaches in the presence of faults ("pure lazy repair does not improve
+  /// the performance", Section I/VI).
+  bool restrict_to_reachable = true;
+
+  /// Enable Algorithm 2's ExpandGroup (lines 13-18).
+  bool use_expand_group = true;
+
+  GroupMethod group_method = GroupMethod::kPaperLoop;
+
+  /// Run one pass of BDD variable sifting over the compiled program before
+  /// repairing. The interleaved static order is usually already good;
+  /// sifting occasionally helps models whose interaction structure does
+  /// not follow declaration order.
+  bool sift_before_repair = false;
+
+  /// Bound on Algorithm 1's outer repeat loop (defensive; case studies
+  /// converge in 1-2 iterations).
+  std::size_t max_outer_iterations = 64;
+};
+
+/// Measurements reported by the algorithms; the benchmark tables are
+/// printed from these.
+struct Stats {
+  double step1_seconds = 0.0;  ///< Add-Masking time (Table "Time for Step 1")
+  double step2_seconds = 0.0;  ///< Algorithm 2 time (Table "Time for Step 2")
+  double total_seconds = 0.0;
+
+  std::size_t outer_iterations = 0;       ///< Algorithm 1 repeat rounds
+  std::size_t addmasking_rounds = 0;      ///< Step-1 outer fixpoint rounds
+  std::size_t group_iterations = 0;       ///< Algorithm 2 loop iterations
+  std::size_t expand_successes = 0;       ///< accepted ExpandGroup enlargements
+  std::size_t recovery_layers = 0;        ///< BFS layers of the fault span
+
+  double reachable_states = -1.0;  ///< |Reach(S, δ_P ∪ f)| (table column 1)
+  double span_states = -1.0;       ///< |T'| of the result
+  double invariant_states = -1.0;  ///< |S'| of the result
+  std::size_t peak_bdd_nodes = 0;  ///< engine high-water mark
+};
+
+/// Result of Step 1 (Add-Masking without realizability constraints).
+struct StepOneResult {
+  bool success = false;
+  bdd::Bdd invariant;   ///< S'
+  bdd::Bdd fault_span;  ///< T'
+  /// δ': transitions of the (possibly unrealizable) masking program —
+  /// original transitions inside S' plus layered recovery; the only
+  /// self-loops are original stutter steps inside S'.
+  bdd::Bdd delta;
+};
+
+/// Result of a full repair (lazy or cautious).
+struct RepairResult {
+  bool success = false;
+  std::string failure_reason;
+  bdd::Bdd invariant;   ///< S'
+  bdd::Bdd fault_span;  ///< T'
+  /// Realizable per-process transition predicates δ_j (proper transitions;
+  /// Definition-18 stuttering supplies self-loops).
+  std::vector<bdd::Bdd> process_deltas;
+  /// ∪_j δ_j.
+  bdd::Bdd delta;
+  Stats stats;
+};
+
+}  // namespace lr::repair

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "program/distributed_program.hpp"
+#include "repair/types.hpp"
+
+namespace lr::repair {
+
+/// Verdict of the independent symbolic verifier.
+struct VerifyReport {
+  bool ok = false;
+  std::vector<std::string> failures;  ///< human-readable failed checks
+
+  // Individual checks (true = passed). `ok` is their conjunction.
+  bool invariant_nonempty = false;
+  bool invariant_subset = false;      ///< S' ⊆ S
+  bool no_new_behavior = false;       ///< δ'|S' ⊆ δ_P|S'
+  bool invariant_closed = false;      ///< image(δ', S') ⊆ S'
+  bool safe_in_invariant = false;     ///< no bad state/transition inside S'
+  bool safety_under_faults = false;   ///< no bad state/transition reachable
+  bool deadlock_free = false;         ///< stuck states are legit terminals in S'
+  bool livelock_free = false;         ///< no infinite run avoiding S'
+  bool realizable = false;            ///< Definitions 19/20 hold for each δ_j
+  bool span_covers_reachable = false; ///< reported T' ⊇ Reach(S', δ' ∪ f)
+
+  double reachable_span_states = -1.0;
+};
+
+/// Independently verifies that a repair result is a *realizable masking
+/// f-tolerant* program (Theorems 1 and 2): re-derives the fault span from
+/// scratch and checks closure, safety, recovery (deadlock + livelock
+/// freedom via a νZ fixpoint), the no-new-behavior condition, and the
+/// read/write realizability of every process delta.
+///
+/// The program's Definition-18 semantics (stuttering at states with no
+/// enabled action) is applied to the result's process deltas before
+/// checking.
+/// `level` selects which obligations are checked: kFailsafe drops the
+/// recovery checks (deadlocks/livelocks outside S' are permitted),
+/// kNonmasking drops the safety-under-faults checks. Both keep the
+/// invariant-side requirements (closure, no new behavior, SPEC inside S').
+[[nodiscard]] VerifyReport verify_masking(
+    prog::DistributedProgram& program, const RepairResult& result,
+    ToleranceLevel level = ToleranceLevel::kMasking);
+
+}  // namespace lr::repair

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lr::support {
+
+/// Tiny command-line option parser for the example binaries.
+///
+/// Understands "--key=value", "--key value" and bare "--flag" arguments;
+/// everything else is collected as a positional argument. The examples use
+/// this to select instance sizes and toggles without pulling in a real
+/// argument-parsing dependency.
+class CommandLine {
+ public:
+  CommandLine(int argc, const char* const* argv);
+
+  /// True when "--name" (with or without a value) was present.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of --name, or fallback when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+
+  /// Integer value of --name, or fallback when absent or unparsable.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lr::support

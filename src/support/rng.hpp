@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lr::support {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by property tests and the
+/// random-formula generators so that failures reproduce exactly from a seed.
+///
+/// We deliberately avoid std::mt19937 in library code: splitmix64 is an
+/// order of magnitude smaller, trivially seedable, and its output sequence
+/// is stable across standard library implementations.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 random bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Modulo bias is irrelevant at test scale (bound << 2^64).
+    return next() % bound;
+  }
+
+  /// Fair coin.
+  constexpr bool flip() noexcept { return (next() & 1u) != 0; }
+
+  /// Returns true with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lr::support

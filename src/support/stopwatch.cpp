@@ -1,0 +1,24 @@
+#include "support/stopwatch.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lr::support {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    if (seconds < 0.0005) {
+      std::snprintf(buf, sizeof buf, "%.3fms", seconds * 1e3);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1e3);
+    }
+  } else if (seconds < 100.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace lr::support

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lr::support {
+
+/// Monotonic wall-clock stopwatch used to time repair phases.
+///
+/// The repair algorithms report per-phase durations (Step 1 / Step 2 in the
+/// paper's tables) through `RepairStats`; all of those numbers come from this
+/// class so they are measured consistently.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Creates a stopwatch that starts running immediately.
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset().
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return Clock::now() - start_;
+  }
+
+  /// Elapsed time in seconds as a double (convenience for reporting).
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+  /// Elapsed time in whole milliseconds.
+  [[nodiscard]] std::int64_t milliseconds() const noexcept {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(elapsed())
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds the way the paper's tables do:
+/// "< 1s" for sub-second times, otherwise a rounded number of seconds for
+/// large values and two decimals for small ones.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace lr::support

@@ -1,0 +1,67 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace lr::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    for (std::size_t p = 0; p < width[c] + 2; ++p) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_state_count(double count) {
+  char buf[64];
+  if (count < 0) return "?";
+  if (count < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.0f", count);
+  } else {
+    const int exponent = static_cast<int>(std::floor(std::log10(count)));
+    const double mantissa = count / std::pow(10.0, exponent);
+    std::snprintf(buf, sizeof buf, "%.1fe%d", mantissa, exponent);
+  }
+  return buf;
+}
+
+}  // namespace lr::support

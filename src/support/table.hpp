@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lr::support {
+
+/// Minimal fixed-column ASCII table used by the benchmark harnesses and the
+/// examples to print paper-style result tables (Table I / Table II rows).
+///
+/// Usage:
+///   Table t({"Instance", "Reachable states", "Step 1", "Step 2"});
+///   t.add_row({"BA^5", "1.2e7", "0.42s", "0.05s"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; the row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a header separator and column padding.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a (possibly huge) state count the way the paper reports it,
+/// e.g. 1234 -> "1.2e3". Counts come from BDD satisfying-assignment
+/// counting and can exceed 10^30, hence the double input.
+[[nodiscard]] std::string format_state_count(double count);
+
+}  // namespace lr::support

@@ -1,0 +1,381 @@
+#include "symbolic/space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lr::sym {
+
+namespace {
+
+std::uint32_t bits_for_domain(std::uint32_t domain) {
+  if (domain < 2) return 1;
+  std::uint32_t bits = 0;
+  std::uint32_t capacity = 1;
+  while (capacity < domain) {
+    capacity <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Space::Space(bdd::Manager::Options options) : mgr_(options) {}
+
+VarId Space::add_variable(std::string name, std::uint32_t domain) {
+  if (frozen_) {
+    throw std::logic_error(
+        "Space::add_variable: space is frozen (a whole-space structure was "
+        "already queried)");
+  }
+  if (domain < 1) {
+    throw std::invalid_argument("Space::add_variable: domain must be >= 1");
+  }
+  VariableInfo info;
+  info.name = std::move(name);
+  info.domain = domain;
+  info.bits = bits_for_domain(domain);
+  info.cur_bits.reserve(info.bits);
+  info.next_bits.reserve(info.bits);
+  for (std::uint32_t b = 0; b < info.bits; ++b) {
+    // Interleave current and next copies of each bit.
+    info.cur_bits.push_back(mgr_.new_var());
+    info.next_bits.push_back(mgr_.new_var());
+  }
+  bits_per_state_ += info.bits;
+  vars_.push_back(std::move(info));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+std::optional<VarId> Space::find(const std::string& name) const {
+  for (VarId v = 0; v < vars_.size(); ++v) {
+    if (vars_[v].name == name) return v;
+  }
+  return std::nullopt;
+}
+
+double Space::state_space_size() const {
+  double size = 1.0;
+  for (const auto& v : vars_) size *= static_cast<double>(v.domain);
+  return size;
+}
+
+void Space::freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  // Cubes over each copy.
+  std::vector<bdd::VarIndex> cur;
+  std::vector<bdd::VarIndex> next;
+  for (const auto& v : vars_) {
+    cur.insert(cur.end(), v.cur_bits.begin(), v.cur_bits.end());
+    next.insert(next.end(), v.next_bits.begin(), v.next_bits.end());
+  }
+  cube_cur_ = mgr_.make_cube(cur);
+  cube_next_ = mgr_.make_cube(next);
+  // The swap permutation (an involution thanks to interleaving).
+  std::vector<bdd::VarIndex> perm(mgr_.var_count());
+  for (bdd::VarIndex i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (const auto& v : vars_) {
+    for (std::uint32_t b = 0; b < v.bits; ++b) {
+      perm[v.cur_bits[b]] = v.next_bits[b];
+      perm[v.next_bits[b]] = v.cur_bits[b];
+    }
+  }
+  swap_perm_ = mgr_.register_permutation(perm);
+  // Domain-validity constraints and the identity relation.
+  valid_cur_ = mgr_.bdd_true();
+  valid_next_ = mgr_.bdd_true();
+  identity_ = mgr_.bdd_true();
+  for (VarId v = 0; v < vars_.size(); ++v) {
+    const std::uint32_t domain = vars_[v].domain;
+    if ((1u << vars_[v].bits) != domain) {
+      valid_cur_ &= value_lt(v, domain, Version::kCurrent);
+      valid_next_ &= value_lt(v, domain, Version::kNext);
+    }
+    identity_ &= unchanged(v);
+  }
+}
+
+bdd::Bdd Space::value_eq(VarId v, std::uint32_t value, Version ver) {
+  const VariableInfo& info = vars_.at(v);
+  if (value >= info.domain) {
+    throw std::invalid_argument("Space::value_eq: value " +
+                                std::to_string(value) + " outside domain of " +
+                                info.name);
+  }
+  const auto& bits = bits_of(v, ver);
+  bdd::Bdd result = mgr_.bdd_true();
+  for (std::uint32_t b = 0; b < info.bits; ++b) {
+    const bool bit = ((value >> b) & 1u) != 0;
+    result &= bit ? mgr_.bdd_var(bits[b]) : mgr_.bdd_nvar(bits[b]);
+  }
+  return result;
+}
+
+bdd::Bdd Space::value_lt(VarId v, std::uint32_t value, Version ver) {
+  const VariableInfo& info = vars_.at(v);
+  const auto& bits = bits_of(v, ver);
+  if (value >= (1u << info.bits)) return mgr_.bdd_true();
+  // Compare MSB-down: v < value iff some prefix matches and the next
+  // constant bit is 1 while the variable bit is 0.
+  bdd::Bdd result = mgr_.bdd_false();
+  bdd::Bdd prefix_eq = mgr_.bdd_true();
+  for (std::int32_t b = static_cast<std::int32_t>(info.bits) - 1; b >= 0;
+       --b) {
+    const bool cbit = ((value >> b) & 1u) != 0;
+    const bdd::Bdd bit = mgr_.bdd_var(bits[b]);
+    if (cbit) {
+      result |= prefix_eq & ~bit;
+      prefix_eq &= bit;
+    } else {
+      prefix_eq &= ~bit;
+    }
+  }
+  return result;
+}
+
+bdd::Bdd Space::vars_eq(VarId a, Version va, VarId b, Version vb) {
+  const VariableInfo& ia = vars_.at(a);
+  const VariableInfo& ib = vars_.at(b);
+  const auto& bits_a = bits_of(a, va);
+  const auto& bits_b = bits_of(b, vb);
+  const std::uint32_t common = std::min(ia.bits, ib.bits);
+  bdd::Bdd result = mgr_.bdd_true();
+  for (std::uint32_t i = 0; i < common; ++i) {
+    result &= mgr_.bdd_var(bits_a[i]).iff(mgr_.bdd_var(bits_b[i]));
+  }
+  // The wider variable's extra bits must be zero for the values to match.
+  for (std::uint32_t i = common; i < ia.bits; ++i) {
+    result &= mgr_.bdd_nvar(bits_a[i]);
+  }
+  for (std::uint32_t i = common; i < ib.bits; ++i) {
+    result &= mgr_.bdd_nvar(bits_b[i]);
+  }
+  return result;
+}
+
+bdd::Bdd Space::unchanged(VarId v) {
+  return vars_eq(v, Version::kCurrent, v, Version::kNext);
+}
+
+bdd::Bdd Space::unchanged(std::span<const VarId> vs) {
+  bdd::Bdd result = mgr_.bdd_true();
+  for (const VarId v : vs) result &= unchanged(v);
+  return result;
+}
+
+bdd::Bdd Space::identity() {
+  freeze();
+  return identity_;
+}
+
+bdd::Bdd Space::valid(Version ver) {
+  freeze();
+  return ver == Version::kCurrent ? valid_cur_ : valid_next_;
+}
+
+bdd::Bdd Space::valid_pair() {
+  freeze();
+  return valid_cur_ & valid_next_;
+}
+
+bdd::Bdd Space::cube(Version ver) {
+  freeze();
+  return ver == Version::kCurrent ? cube_cur_ : cube_next_;
+}
+
+bdd::Bdd Space::cube_of(std::span<const VarId> vs, Version ver) {
+  std::vector<bdd::VarIndex> bits;
+  for (const VarId v : vs) {
+    const auto& src = bits_of(v, ver);
+    bits.insert(bits.end(), src.begin(), src.end());
+  }
+  return mgr_.make_cube(bits);
+}
+
+bdd::Bdd Space::cube_pair_of(std::span<const VarId> vs) {
+  std::vector<bdd::VarIndex> bits;
+  for (const VarId v : vs) {
+    const auto& cur = vars_.at(v).cur_bits;
+    const auto& next = vars_.at(v).next_bits;
+    bits.insert(bits.end(), cur.begin(), cur.end());
+    bits.insert(bits.end(), next.begin(), next.end());
+  }
+  return mgr_.make_cube(bits);
+}
+
+bdd::Bdd Space::prime(const bdd::Bdd& state) {
+  freeze();
+  return mgr_.permute(state, *swap_perm_);
+}
+
+bdd::Bdd Space::unprime(const bdd::Bdd& state) {
+  freeze();
+  return mgr_.permute(state, *swap_perm_);
+}
+
+bdd::Bdd Space::image(const bdd::Bdd& rel, const bdd::Bdd& from) {
+  freeze();
+  return unprime(mgr_.and_exists(rel, from, cube_cur_));
+}
+
+bdd::Bdd Space::preimage(const bdd::Bdd& rel, const bdd::Bdd& to) {
+  freeze();
+  return mgr_.and_exists(rel, prime(to), cube_next_);
+}
+
+bdd::Bdd Space::forward_reachable(const bdd::Bdd& rel, const bdd::Bdd& from) {
+  bdd::Bdd reached = from;
+  bdd::Bdd frontier = from;
+  while (!frontier.is_false()) {
+    frontier = image(rel, frontier).minus(reached);
+    reached |= frontier;
+  }
+  return reached;
+}
+
+bdd::Bdd Space::forward_reachable(std::span<const bdd::Bdd> rels,
+                                  const bdd::Bdd& from) {
+  bdd::Bdd reached = from;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const bdd::Bdd& rel : rels) {
+      // Saturate this partition before moving to the next.
+      while (true) {
+        const bdd::Bdd fresh = image(rel, reached).minus(reached);
+        if (fresh.is_false()) break;
+        reached |= fresh;
+        changed = true;
+      }
+    }
+  }
+  return reached;
+}
+
+bdd::Bdd Space::backward_reachable(const bdd::Bdd& rel, const bdd::Bdd& to) {
+  bdd::Bdd reached = to;
+  bdd::Bdd frontier = to;
+  while (!frontier.is_false()) {
+    frontier = preimage(rel, frontier).minus(reached);
+    reached |= frontier;
+  }
+  return reached;
+}
+
+bdd::Bdd Space::has_successor_in(const bdd::Bdd& rel, const bdd::Bdd& set) {
+  return set & preimage(rel, set);
+}
+
+double Space::count_states(const bdd::Bdd& set) {
+  freeze();
+  // Conjoining validity keeps invalid encodings of non-power-of-two domains
+  // out of the count and guarantees the support is within current bits.
+  bdd::Bdd counted = set & valid_cur_;
+  return mgr_.sat_count(counted, bits_per_state_);
+}
+
+double Space::count_transitions(const bdd::Bdd& rel) {
+  freeze();
+  bdd::Bdd counted = rel & valid_cur_ & valid_next_;
+  return mgr_.sat_count(counted, 2 * bits_per_state_);
+}
+
+void Space::foreach_state(
+    const bdd::Bdd& set,
+    const std::function<void(std::span<const std::uint32_t>)>& fn) {
+  freeze();
+  const bdd::Bdd constrained = set & valid_cur_;
+  std::vector<std::uint32_t> values(vars_.size());
+  // foreach_minterm presents the cube's variables in *level* order, which
+  // is declaration order only until someone reorders; build the decode
+  // table from the current levels.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> order;
+  order.reserve(bits_per_state_);
+  for (std::uint32_t v = 0; v < vars_.size(); ++v) {
+    for (std::uint32_t b = 0; b < vars_[v].bits; ++b) {
+      order.push_back({mgr_.level_of(vars_[v].cur_bits[b]), v, b});
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> decode;
+  decode.reserve(order.size());
+  for (const auto& [level, v, b] : order) decode.push_back({v, b});
+  mgr_.foreach_minterm(constrained, cube_cur_,
+                       [&](std::span<const bool> bits) {
+                         std::fill(values.begin(), values.end(), 0u);
+                         for (std::size_t i = 0; i < bits.size(); ++i) {
+                           if (bits[i]) {
+                             values[decode[i].first] |= 1u << decode[i].second;
+                           }
+                         }
+                         fn(values);
+                       });
+}
+
+void Space::foreach_transition(
+    const bdd::Bdd& rel,
+    const std::function<void(std::span<const std::uint32_t>,
+                             std::span<const std::uint32_t>)>& fn) {
+  freeze();
+  const bdd::Bdd constrained = rel & valid_cur_ & valid_next_;
+  const bdd::Bdd both = cube_cur_ & cube_next_;
+  std::vector<std::uint32_t> from(vars_.size());
+  std::vector<std::uint32_t> to(vars_.size());
+  // Decode table in *level* order (see foreach_state).
+  std::vector<std::tuple<std::uint32_t, bool, std::uint32_t, std::uint32_t>>
+      order;
+  order.reserve(2 * bits_per_state_);
+  for (std::uint32_t v = 0; v < vars_.size(); ++v) {
+    for (std::uint32_t b = 0; b < vars_[v].bits; ++b) {
+      order.push_back({mgr_.level_of(vars_[v].cur_bits[b]), false, v, b});
+      order.push_back({mgr_.level_of(vars_[v].next_bits[b]), true, v, b});
+    }
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<std::tuple<bool, std::uint32_t, std::uint32_t>> decode;
+  decode.reserve(order.size());
+  for (const auto& [level, is_next, v, b] : order) {
+    decode.push_back({is_next, v, b});
+  }
+  mgr_.foreach_minterm(
+      constrained, both, [&](std::span<const bool> bits) {
+        std::fill(from.begin(), from.end(), 0u);
+        std::fill(to.begin(), to.end(), 0u);
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+          if (!bits[i]) continue;
+          const auto& [is_next, v, b] = decode[i];
+          (is_next ? to : from)[v] |= 1u << b;
+        }
+        fn(from, to);
+      });
+}
+
+bdd::Bdd Space::state(std::span<const std::uint32_t> values, Version ver) {
+  if (values.size() != vars_.size()) {
+    throw std::invalid_argument("Space::state: one value per variable");
+  }
+  bdd::Bdd result = mgr_.bdd_true();
+  for (VarId v = 0; v < vars_.size(); ++v) {
+    result &= value_eq(v, values[v], ver);
+  }
+  return result;
+}
+
+bdd::Bdd Space::transition(std::span<const std::uint32_t> from,
+                           std::span<const std::uint32_t> to) {
+  return state(from, Version::kCurrent) & state(to, Version::kNext);
+}
+
+std::string Space::state_to_string(
+    std::span<const std::uint32_t> values) const {
+  std::string out;
+  for (VarId v = 0; v < vars_.size() && v < values.size(); ++v) {
+    if (v > 0) out += ", ";
+    out += vars_[v].name + "=" + std::to_string(values[v]);
+  }
+  return out;
+}
+
+}  // namespace lr::sym

@@ -1,0 +1,244 @@
+// Unit tests for the BDD engine's construction and boolean algebra.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace lr::bdd {
+namespace {
+
+class BddBasicTest : public ::testing::Test {
+ protected:
+  BddBasicTest() {
+    for (int i = 0; i < 8; ++i) vars_.push_back(mgr_.new_var());
+  }
+
+  Manager mgr_;
+  std::vector<VarIndex> vars_;
+};
+
+TEST_F(BddBasicTest, TerminalsAreCanonical) {
+  const Bdd f = mgr_.bdd_false();
+  const Bdd t = mgr_.bdd_true();
+  EXPECT_TRUE(f.is_false());
+  EXPECT_TRUE(t.is_true());
+  EXPECT_TRUE(f.is_terminal());
+  EXPECT_TRUE(t.is_terminal());
+  EXPECT_NE(f, t);
+  EXPECT_EQ(f, mgr_.bdd_false());
+  EXPECT_EQ(t, mgr_.bdd_true());
+}
+
+TEST_F(BddBasicTest, DefaultHandleIsInvalid) {
+  const Bdd empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.is_true());
+  EXPECT_FALSE(empty.is_false());
+}
+
+TEST_F(BddBasicTest, LiteralsAreCanonicalAndDistinct) {
+  const Bdd a0 = mgr_.bdd_var(vars_[0]);
+  const Bdd a0_again = mgr_.bdd_var(vars_[0]);
+  const Bdd a1 = mgr_.bdd_var(vars_[1]);
+  EXPECT_EQ(a0, a0_again);
+  EXPECT_NE(a0, a1);
+  EXPECT_EQ(~a0, mgr_.bdd_nvar(vars_[0]));
+  EXPECT_EQ(~~a0, a0);
+}
+
+TEST_F(BddBasicTest, ConjunctionTruthTable) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd ab = a & b;
+  const bool tt[4][3] = {{false, false, false},
+                         {false, true, false},
+                         {true, false, false},
+                         {true, true, true}};
+  for (const auto& row : tt) {
+    const bool assignment[2] = {row[0], row[1]};
+    EXPECT_EQ(mgr_.eval(ab, assignment), row[2]);
+  }
+}
+
+TEST_F(BddBasicTest, BooleanIdentities) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd t = mgr_.bdd_true();
+  const Bdd f = mgr_.bdd_false();
+
+  EXPECT_EQ(a & t, a);
+  EXPECT_EQ(a & f, f);
+  EXPECT_EQ(a | t, t);
+  EXPECT_EQ(a | f, a);
+  EXPECT_EQ(a ^ a, f);
+  EXPECT_EQ(a ^ f, a);
+  EXPECT_EQ(a ^ t, ~a);
+  EXPECT_EQ(a & ~a, f);
+  EXPECT_EQ(a | ~a, t);
+  EXPECT_EQ(a & b, b & a);
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ(~(a & b), ~a | ~b);  // De Morgan
+  EXPECT_EQ(~(a | b), ~a & ~b);
+}
+
+TEST_F(BddBasicTest, MinusIsConjunctionWithNegation) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  EXPECT_EQ(a.minus(b), a & ~b);
+  EXPECT_EQ(a.minus(a), mgr_.bdd_false());
+  EXPECT_EQ(a.minus(mgr_.bdd_false()), a);
+  EXPECT_EQ(mgr_.bdd_true().minus(a), ~a);
+}
+
+TEST_F(BddBasicTest, IteMatchesMuxSemantics) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd c = mgr_.bdd_var(vars_[2]);
+  const Bdd mux = a.ite(b, c);
+  EXPECT_EQ(mux, (a & b) | (~a & c));
+  EXPECT_EQ(a.ite(mgr_.bdd_true(), mgr_.bdd_false()), a);
+  EXPECT_EQ(a.ite(mgr_.bdd_false(), mgr_.bdd_true()), ~a);
+  EXPECT_EQ(a.ite(b, b), b);
+}
+
+TEST_F(BddBasicTest, ImpliesAndIff) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  EXPECT_EQ(a.implies(b), ~a | b);
+  EXPECT_EQ(a.iff(b), (a & b) | (~a & ~b));
+  EXPECT_EQ(a.iff(a), mgr_.bdd_true());
+  EXPECT_EQ(a.iff(~a), mgr_.bdd_false());
+}
+
+TEST_F(BddBasicTest, LeqDecisionMatchesImplicationBdd) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  EXPECT_TRUE((a & b).leq(a));
+  EXPECT_TRUE((a & b).leq(b));
+  EXPECT_FALSE(a.leq(a & b));
+  EXPECT_TRUE(a.leq(a | b));
+  EXPECT_TRUE(mgr_.bdd_false().leq(a));
+  EXPECT_TRUE(a.leq(mgr_.bdd_true()));
+  EXPECT_FALSE(mgr_.bdd_true().leq(a));
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST_F(BddBasicTest, DisjointDecision) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  EXPECT_TRUE(a.disjoint(~a));
+  EXPECT_FALSE(a.disjoint(a));
+  EXPECT_FALSE(a.disjoint(b));
+  EXPECT_TRUE((a & b).disjoint(a & ~b));
+  EXPECT_TRUE(mgr_.bdd_false().disjoint(mgr_.bdd_true()));
+}
+
+TEST_F(BddBasicTest, CompoundAssignmentOperators) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  Bdd acc = a;
+  acc &= b;
+  EXPECT_EQ(acc, a & b);
+  acc |= ~b;
+  EXPECT_EQ(acc, (a & b) | ~b);
+}
+
+TEST_F(BddBasicTest, MakeCubeIsSortedConjunction) {
+  const VarIndex unordered[3] = {vars_[4], vars_[1], vars_[6]};
+  const Bdd cube = mgr_.make_cube(unordered);
+  const Bdd expected = mgr_.bdd_var(vars_[1]) & mgr_.bdd_var(vars_[4]) &
+                       mgr_.bdd_var(vars_[6]);
+  EXPECT_EQ(cube, expected);
+}
+
+TEST_F(BddBasicTest, MakeCubeDeduplicates) {
+  const VarIndex repeated[4] = {vars_[2], vars_[2], vars_[5], vars_[5]};
+  const Bdd cube = mgr_.make_cube(repeated);
+  EXPECT_EQ(cube, mgr_.bdd_var(vars_[2]) & mgr_.bdd_var(vars_[5]));
+}
+
+TEST_F(BddBasicTest, EmptyCubeIsTrue) {
+  EXPECT_EQ(mgr_.make_cube({}), mgr_.bdd_true());
+}
+
+TEST_F(BddBasicTest, CofactorFixesAVariable) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd f = (a & b) | (~a & ~b);
+  EXPECT_EQ(mgr_.cofactor(f, vars_[0], true), b);
+  EXPECT_EQ(mgr_.cofactor(f, vars_[0], false), ~b);
+  EXPECT_EQ(mgr_.cofactor(b, vars_[0], true), b);  // independent variable
+}
+
+TEST_F(BddBasicTest, NodeCountOfSmallFunctions) {
+  const Bdd t = mgr_.bdd_true();
+  EXPECT_EQ(t.node_count(), 1u);
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  EXPECT_EQ(a.node_count(), 3u);  // one internal node + both terminals
+  const Bdd ab = a & mgr_.bdd_var(vars_[1]);
+  EXPECT_EQ(ab.node_count(), 4u);
+}
+
+TEST_F(BddBasicTest, SupportListsExactlyTheDependentVariables) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd c = mgr_.bdd_var(vars_[2]);
+  const Bdd f = (a & c) | (~a & c);  // collapses to c
+  EXPECT_EQ(f, c);
+  const auto support = mgr_.support(f);
+  ASSERT_EQ(support.size(), 1u);
+  EXPECT_EQ(support[0], vars_[2]);
+
+  const auto support_ac = mgr_.support(a ^ c);
+  ASSERT_EQ(support_ac.size(), 2u);
+  EXPECT_EQ(support_ac[0], vars_[0]);
+  EXPECT_EQ(support_ac[1], vars_[2]);
+}
+
+TEST_F(BddBasicTest, HandleCopyAndMoveKeepSemantics) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  Bdd copy = a;
+  EXPECT_EQ(copy, a);
+  Bdd moved = std::move(copy);
+  EXPECT_EQ(moved, a);
+  EXPECT_FALSE(copy.valid());  // NOLINT(bugprone-use-after-move): documented
+  copy = moved;
+  EXPECT_EQ(copy, a);
+  copy = copy;  // self-assignment must be harmless
+  EXPECT_EQ(copy, a);
+}
+
+TEST_F(BddBasicTest, EvalWalksTheRightBranches) {
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd c = mgr_.bdd_var(vars_[2]);
+  const Bdd f = a.ite(b, c);
+  const bool a1[3] = {true, true, false};
+  const bool a2[3] = {true, false, true};
+  const bool a3[3] = {false, true, true};
+  const bool a4[3] = {false, false, false};
+  EXPECT_TRUE(mgr_.eval(f, a1));
+  EXPECT_FALSE(mgr_.eval(f, a2));
+  EXPECT_TRUE(mgr_.eval(f, a3));
+  EXPECT_FALSE(mgr_.eval(f, a4));
+}
+
+TEST_F(BddBasicTest, ToDotMentionsAllVariables) {
+  const Bdd f = mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[3]);
+  const std::string dot = mgr_.to_dot(f, "f");
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("x3"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST_F(BddBasicTest, ReductionEliminatesRedundantTests) {
+  // (a ∧ b) ∨ (¬a ∧ b) must collapse to b: no node for a survives.
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd f = (a & b) | (~a & b);
+  EXPECT_EQ(f, b);
+}
+
+}  // namespace
+}  // namespace lr::bdd

@@ -1,0 +1,275 @@
+// Property-based tests: random boolean formulas are compiled both to BDDs
+// and to a brute-force truth-table evaluator; every operation must agree on
+// every assignment. Parameterized over seeds so failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "support/rng.hpp"
+
+namespace lr::bdd {
+namespace {
+
+constexpr std::uint32_t kNumVars = 8;
+
+/// A random formula represented simultaneously as a BDD and as a truth
+/// table over kNumVars variables (bit i of `table` = value on assignment i,
+/// where assignment bit j = value of variable j).
+struct Formula {
+  Bdd bdd;
+  std::uint64_t table = 0;  // 2^8 = 256 rows; we use a pair of uint64? No:
+                            // 256 bits needed -> use 4 words.
+};
+
+/// 256-bit truth table (one bit per assignment of 8 variables).
+struct Table {
+  std::uint64_t w[4] = {0, 0, 0, 0};
+
+  static Table zeros() { return {}; }
+  static Table ones() {
+    Table t;
+    for (auto& x : t.w) x = ~0ull;
+    return t;
+  }
+  static Table var(std::uint32_t v) {
+    Table t;
+    for (std::uint32_t row = 0; row < 256; ++row) {
+      if ((row >> v) & 1u) t.set(row);
+    }
+    return t;
+  }
+  void set(std::uint32_t row) { w[row >> 6] |= 1ull << (row & 63); }
+  [[nodiscard]] bool get(std::uint32_t row) const {
+    return (w[row >> 6] >> (row & 63)) & 1u;
+  }
+  [[nodiscard]] Table operator&(const Table& o) const {
+    Table t;
+    for (int i = 0; i < 4; ++i) t.w[i] = w[i] & o.w[i];
+    return t;
+  }
+  [[nodiscard]] Table operator|(const Table& o) const {
+    Table t;
+    for (int i = 0; i < 4; ++i) t.w[i] = w[i] | o.w[i];
+    return t;
+  }
+  [[nodiscard]] Table operator^(const Table& o) const {
+    Table t;
+    for (int i = 0; i < 4; ++i) t.w[i] = w[i] ^ o.w[i];
+    return t;
+  }
+  [[nodiscard]] Table operator~() const {
+    Table t;
+    for (int i = 0; i < 4; ++i) t.w[i] = ~w[i];
+    return t;
+  }
+  [[nodiscard]] bool operator==(const Table& o) const {
+    for (int i = 0; i < 4; ++i) {
+      if (w[i] != o.w[i]) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] int popcount() const {
+    int n = 0;
+    for (const auto x : w) n += __builtin_popcountll(x);
+    return n;
+  }
+};
+
+struct Pair {
+  Bdd bdd;
+  Table table;
+};
+
+/// Builds a random formula of the given depth as both representations.
+Pair random_formula(Manager& mgr, lr::support::SplitMix64& rng, int depth) {
+  if (depth == 0) {
+    switch (rng.below(4)) {
+      case 0:
+        return {mgr.bdd_false(), Table::zeros()};
+      case 1:
+        return {mgr.bdd_true(), Table::ones()};
+      default: {
+        const auto v = static_cast<std::uint32_t>(rng.below(kNumVars));
+        return {mgr.bdd_var(v), Table::var(v)};
+      }
+    }
+  }
+  const Pair a = random_formula(mgr, rng, depth - 1);
+  switch (rng.below(4)) {
+    case 0: {
+      const Pair b = random_formula(mgr, rng, depth - 1);
+      return {a.bdd & b.bdd, a.table & b.table};
+    }
+    case 1: {
+      const Pair b = random_formula(mgr, rng, depth - 1);
+      return {a.bdd | b.bdd, a.table | b.table};
+    }
+    case 2: {
+      const Pair b = random_formula(mgr, rng, depth - 1);
+      return {a.bdd ^ b.bdd, a.table ^ b.table};
+    }
+    default:
+      return {~a.bdd, ~a.table};
+  }
+}
+
+/// Checks that the BDD evaluates exactly like the table.
+void expect_equivalent(Manager& mgr, const Bdd& f, const Table& t) {
+  for (std::uint32_t row = 0; row < 256; ++row) {
+    bool assignment[kNumVars];
+    for (std::uint32_t v = 0; v < kNumVars; ++v) {
+      assignment[v] = ((row >> v) & 1u) != 0;
+    }
+    ASSERT_EQ(mgr.eval(f, assignment), t.get(row)) << "row " << row;
+  }
+}
+
+class BddPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  BddPropertyTest() {
+    for (std::uint32_t i = 0; i < kNumVars; ++i) (void)mgr_.new_var();
+  }
+  Manager mgr_;
+};
+
+TEST_P(BddPropertyTest, RandomFormulaMatchesTruthTable) {
+  lr::support::SplitMix64 rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const Pair p = random_formula(mgr_, rng, 5);
+    expect_equivalent(mgr_, p.bdd, p.table);
+  }
+}
+
+TEST_P(BddPropertyTest, SatCountMatchesPopcount) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0x5eedull);
+  for (int round = 0; round < 20; ++round) {
+    const Pair p = random_formula(mgr_, rng, 5);
+    EXPECT_DOUBLE_EQ(mgr_.sat_count(p.bdd, kNumVars),
+                     static_cast<double>(p.table.popcount()));
+  }
+}
+
+TEST_P(BddPropertyTest, ExistsMatchesDisjunctionOfCofactors) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0xe715ull);
+  for (int round = 0; round < 20; ++round) {
+    const Pair p = random_formula(mgr_, rng, 5);
+    const auto v = static_cast<VarIndex>(rng.below(kNumVars));
+    const VarIndex vs[1] = {v};
+    const Bdd quantified = mgr_.exists(p.bdd, mgr_.make_cube(vs));
+    const Bdd expected =
+        mgr_.cofactor(p.bdd, v, false) | mgr_.cofactor(p.bdd, v, true);
+    EXPECT_EQ(quantified, expected);
+  }
+}
+
+TEST_P(BddPropertyTest, ForallMatchesConjunctionOfCofactors) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0xfa11ull);
+  for (int round = 0; round < 20; ++round) {
+    const Pair p = random_formula(mgr_, rng, 5);
+    const auto v = static_cast<VarIndex>(rng.below(kNumVars));
+    const VarIndex vs[1] = {v};
+    const Bdd quantified = mgr_.forall(p.bdd, mgr_.make_cube(vs));
+    const Bdd expected =
+        mgr_.cofactor(p.bdd, v, false) & mgr_.cofactor(p.bdd, v, true);
+    EXPECT_EQ(quantified, expected);
+  }
+}
+
+TEST_P(BddPropertyTest, AndExistsAgreesWithSequentialOps) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0xae0ull);
+  for (int round = 0; round < 20; ++round) {
+    const Pair f = random_formula(mgr_, rng, 4);
+    const Pair g = random_formula(mgr_, rng, 4);
+    std::vector<VarIndex> vs;
+    for (VarIndex v = 0; v < kNumVars; ++v) {
+      if (rng.flip()) vs.push_back(v);
+    }
+    const Bdd cube = mgr_.make_cube(vs);
+    EXPECT_EQ(mgr_.and_exists(f.bdd, g.bdd, cube),
+              mgr_.exists(f.bdd & g.bdd, cube));
+  }
+}
+
+TEST_P(BddPropertyTest, LeqAndDisjointAgreeWithConstructedSets) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0x1e0ull);
+  for (int round = 0; round < 30; ++round) {
+    const Pair f = random_formula(mgr_, rng, 4);
+    const Pair g = random_formula(mgr_, rng, 4);
+    EXPECT_EQ(f.bdd.leq(g.bdd), f.bdd.minus(g.bdd).is_false());
+    EXPECT_EQ(f.bdd.disjoint(g.bdd), (f.bdd & g.bdd).is_false());
+  }
+}
+
+TEST_P(BddPropertyTest, PermuteMatchesTableReindexing) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0x9e1ull);
+  // Random permutation of the variables.
+  std::vector<VarIndex> perm(kNumVars);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::uint32_t i = kNumVars - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  }
+  const PermId pid = mgr_.register_permutation(perm);
+  for (int round = 0; round < 10; ++round) {
+    const Pair p = random_formula(mgr_, rng, 5);
+    const Bdd permuted = mgr_.permute(p.bdd, pid);
+    // permuted(x) must equal f(y) where y[v] = x[perm[v]].
+    for (std::uint32_t row = 0; row < 256; ++row) {
+      bool x[kNumVars];
+      for (std::uint32_t v = 0; v < kNumVars; ++v) {
+        x[v] = ((row >> v) & 1u) != 0;
+      }
+      std::uint32_t orig_row = 0;
+      for (std::uint32_t v = 0; v < kNumVars; ++v) {
+        if (x[perm[v]]) orig_row |= 1u << v;
+      }
+      ASSERT_EQ(mgr_.eval(permuted, x), p.table.get(orig_row))
+          << "round " << round << " row " << row;
+    }
+  }
+}
+
+TEST_P(BddPropertyTest, PickMintermAlwaysInsideFunction) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0x71c7ull);
+  std::vector<VarIndex> all(kNumVars);
+  std::iota(all.begin(), all.end(), 0);
+  const Bdd cube = mgr_.make_cube(all);
+  for (int round = 0; round < 30; ++round) {
+    const Pair p = random_formula(mgr_, rng, 5);
+    if (p.bdd.is_false()) continue;
+    const Bdd m = mgr_.pick_minterm(p.bdd, cube);
+    EXPECT_TRUE(m.leq(p.bdd));
+    EXPECT_DOUBLE_EQ(mgr_.sat_count(m, kNumVars), 1.0);
+  }
+}
+
+TEST_P(BddPropertyTest, ForeachMintermEnumerationMatchesTable) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0xf0eull);
+  std::vector<VarIndex> all(kNumVars);
+  std::iota(all.begin(), all.end(), 0);
+  const Bdd cube = mgr_.make_cube(all);
+  const Pair p = random_formula(mgr_, rng, 5);
+  Table seen = Table::zeros();
+  std::size_t count = 0;
+  mgr_.foreach_minterm(p.bdd, cube, [&](std::span<const bool> values) {
+    std::uint32_t row = 0;
+    for (std::uint32_t v = 0; v < kNumVars; ++v) {
+      if (values[v]) row |= 1u << v;
+    }
+    seen.set(row);
+    ++count;
+  });
+  EXPECT_TRUE(seen == p.table);
+  EXPECT_EQ(static_cast<int>(count), p.table.popcount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull, 55ull, 89ull));
+
+}  // namespace
+}  // namespace lr::bdd

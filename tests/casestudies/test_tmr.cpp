@@ -1,0 +1,77 @@
+// Tests for the triple-modular-redundancy case study: the repair must
+// synthesize the majority vote.
+
+#include <gtest/gtest.h>
+
+#include "casestudies/tmr.hpp"
+#include "explicit_model/explicit_model.hpp"
+#include "repair/describe.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+
+namespace lr::cs {
+namespace {
+
+TEST(TmrTest, ModelShape) {
+  auto p = make_tmr({});
+  // ref, 3 inputs, out: 2*2*2*2*3 = 48 states.
+  EXPECT_DOUBLE_EQ(p->space().state_space_size(), 48.0);
+  // Invariant: <=1 mismatch (1 + 3 patterns) x ref(2) x out in {bot, ref}.
+  EXPECT_DOUBLE_EQ(p->space().count_states(p->invariant()), 16.0);
+}
+
+TEST(TmrTest, RejectsCorruptedMajority) {
+  EXPECT_THROW((void)make_tmr({.replicas = 3, .max_corruptions = 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_tmr({.replicas = 2}), std::invalid_argument);
+}
+
+TEST(TmrTest, LazyRepairSynthesizesMajorityVote) {
+  auto p = make_tmr({});
+  const auto result = repair::lazy_repair(*p);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  const auto report = repair::verify_masking(*p, result);
+  EXPECT_TRUE(report.ok);
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+  xmodel::ExplicitModel model(*p);
+  EXPECT_TRUE(model.verify(result).ok);
+
+  // The synthesized voter must emit the majority: from in = (1, 1, 0) it
+  // writes 1, never 0 — even though the intolerant program copied in0
+  // blindly and in0 could be the corrupted line.
+  auto& sp = p->space();
+  // Variables: ref in0 in1 in2 out.
+  const std::uint32_t majority1[5] = {1, 1, 1, 0, 2};
+  const std::uint32_t wrote1[5] = {1, 1, 1, 0, 1};
+  const std::uint32_t wrote0[5] = {1, 1, 1, 0, 0};
+  EXPECT_TRUE(
+      sp.transition(majority1, wrote1).leq(result.process_deltas[0]));
+  EXPECT_FALSE(
+      sp.transition(majority1, wrote0).leq(result.process_deltas[0]));
+}
+
+TEST(TmrTest, FiveReplicasTwoCorruptions) {
+  auto p = make_tmr({.replicas = 5, .max_corruptions = 2});
+  const auto result = repair::lazy_repair(*p);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_TRUE(repair::verify_masking(*p, result).ok);
+}
+
+TEST(TmrTest, DescribeShowsVotes) {
+  auto p = make_tmr({});
+  const auto result = repair::lazy_repair(*p);
+  ASSERT_TRUE(result.success);
+  const auto lines = repair::describe_process_program(
+      *p, 0, result.process_deltas[0], result.fault_span);
+  EXPECT_FALSE(lines.empty());
+  bool saw_vote = false;
+  for (const auto& line : lines) {
+    if (line.find("out:=") != std::string::npos) saw_vote = true;
+    // The guard never mentions the unreadable reference.
+    EXPECT_EQ(line.find("ref"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(saw_vote);
+}
+
+}  // namespace
+}  // namespace lr::cs

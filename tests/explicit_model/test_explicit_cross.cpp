@@ -1,0 +1,144 @@
+// Cross-validation: the symbolic verifier and the explicit-state checker
+// must agree — on genuine repair results and on deliberately corrupted
+// ones (mutation testing of the verifiers themselves).
+
+#include <gtest/gtest.h>
+
+#include "casestudies/byzantine.hpp"
+#include "casestudies/chain.hpp"
+#include "explicit_model/explicit_model.hpp"
+#include "repair/cautious.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+
+namespace lr::xmodel {
+namespace {
+
+using repair::RepairResult;
+
+void expect_both_accept(prog::DistributedProgram& program,
+                        const RepairResult& result) {
+  const repair::VerifyReport symbolic = repair::verify_masking(program, result);
+  EXPECT_TRUE(symbolic.ok);
+  for (const auto& f : symbolic.failures) ADD_FAILURE() << "symbolic: " << f;
+  ExplicitModel model(program);
+  const ExplicitModel::Report explicit_report = model.verify(result);
+  EXPECT_TRUE(explicit_report.ok);
+  for (const auto& f : explicit_report.failures) {
+    ADD_FAILURE() << "explicit: " << f;
+  }
+}
+
+void expect_both_reject(prog::DistributedProgram& program,
+                        const RepairResult& result) {
+  const repair::VerifyReport symbolic = repair::verify_masking(program, result);
+  ExplicitModel model(program);
+  const ExplicitModel::Report explicit_report = model.verify(result);
+  EXPECT_FALSE(symbolic.ok);
+  EXPECT_FALSE(explicit_report.ok);
+}
+
+TEST(ExplicitCrossTest, LazyChainAcceptedByBoth) {
+  auto program = cs::make_chain({.length = 3, .domain = 3});
+  const RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  expect_both_accept(*program, result);
+}
+
+TEST(ExplicitCrossTest, LazyByzantineAcceptedByBoth) {
+  auto program = cs::make_byzantine({.non_generals = 3});
+  const RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  expect_both_accept(*program, result);
+}
+
+TEST(ExplicitCrossTest, CautiousByzantineAcceptedByBoth) {
+  auto program = cs::make_byzantine({.non_generals = 3});
+  const RepairResult result = repair::cautious_repair(*program);
+  ASSERT_TRUE(result.success);
+  expect_both_accept(*program, result);
+}
+
+TEST(ExplicitCrossTest, LazyByzantineFailStopAcceptedByBoth) {
+  auto program = cs::make_byzantine({.non_generals = 2, .fail_stop = true});
+  const RepairResult result = repair::lazy_repair(*program);
+  if (result.success) expect_both_accept(*program, result);
+}
+
+TEST(ExplicitCrossTest, MutationRemovedGroupRejected) {
+  // Dropping one process's entire delta deadlocks recovery somewhere.
+  auto program = cs::make_byzantine({.non_generals = 3});
+  RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  result.process_deltas[0] = program->space().bdd_false();
+  result.delta = result.process_deltas[1] | result.process_deltas[2];
+  expect_both_reject(*program, result);
+}
+
+TEST(ExplicitCrossTest, MutationPartialGroupRejected) {
+  // Removing a *single transition* from a process delta breaks the read
+  // restriction: the remaining group is incomplete.
+  auto program = cs::make_chain({.length = 3, .domain = 2});
+  RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  sym::Space& space = program->space();
+  for (auto& dj : result.process_deltas) {
+    if (dj.is_false()) continue;
+    const bdd::Bdd all_bits = space.cube(sym::Version::kCurrent) &
+                              space.cube(sym::Version::kNext);
+    const bdd::Bdd one = space.manager().pick_minterm(dj, all_bits);
+    dj = dj.minus(one);
+    break;
+  }
+  expect_both_reject(*program, result);
+}
+
+TEST(ExplicitCrossTest, MutationWriteViolationRejected) {
+  // Adding a transition that writes another process's variable violates
+  // the write restriction in both checkers.
+  auto program = cs::make_chain({.length = 2, .domain = 2});
+  RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  sym::Space& space = program->space();
+  // Process p1 writes x1 only; forge a transition that changes x2.
+  const std::uint32_t from[3] = {0, 0, 1};
+  const std::uint32_t to[3] = {0, 0, 0};
+  result.process_deltas[0] |= space.transition(from, to);
+  expect_both_reject(*program, result);
+}
+
+TEST(ExplicitCrossTest, MutationInvariantOutsideSRejected) {
+  auto program = cs::make_chain({.length = 2, .domain = 2});
+  RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  // Claim a non-legitimate state as part of S'.
+  const std::uint32_t off[3] = {0, 1, 0};
+  result.invariant |= program->space().state(off);
+  expect_both_reject(*program, result);
+}
+
+TEST(ExplicitCrossTest, MutationEmptyInvariantRejected) {
+  auto program = cs::make_chain({.length = 2, .domain = 2});
+  RepairResult result = repair::lazy_repair(*program);
+  ASSERT_TRUE(result.success);
+  result.invariant = program->space().bdd_false();
+  expect_both_reject(*program, result);
+}
+
+TEST(ExplicitCrossTest, EncodeDecodeRoundTrip) {
+  auto program = cs::make_chain({.length = 3, .domain = 3});
+  (void)program->invariant();
+  ExplicitModel model(*program);
+  for (std::size_t s = 0; s < model.state_count(); ++s) {
+    EXPECT_EQ(model.encode(model.decode(s)), s);
+  }
+}
+
+TEST(ExplicitCrossTest, RejectsHugeStateSpaces) {
+  auto program = cs::make_chain({.length = 30, .domain = 8});
+  (void)program->invariant();
+  EXPECT_THROW(ExplicitModel model(*program), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lr::xmodel

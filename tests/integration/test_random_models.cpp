@@ -1,0 +1,191 @@
+// Fuzz-style soundness sweep: random small distributed programs (random
+// topologies, actions, faults, invariants and specifications) are fed to
+// lazy repair; *whenever* it claims success, both the symbolic verifier
+// and the explicit-state checker must accept the result. Failures are
+// expected and fine — unsound successes are not.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "explicit_model/explicit_model.hpp"
+#include "program/distributed_program.hpp"
+#include "repair/cautious.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+#include "support/rng.hpp"
+
+namespace lr::repair {
+namespace {
+
+using lang::Expr;
+using prog::DistributedProgram;
+
+/// Builds a random program: 2-3 variables of domain 2-3, 1-3 processes
+/// with random read/write topology and random guarded commands, 1-2 fault
+/// actions, a random nonempty invariant and a random (possibly empty)
+/// safety specification.
+std::unique_ptr<DistributedProgram> random_program(
+    lr::support::SplitMix64& rng) {
+  auto p = std::make_unique<DistributedProgram>("fuzz");
+  const std::size_t nvars = 2 + rng.below(2);
+  std::vector<sym::VarId> vars;
+  std::vector<std::uint32_t> domains;
+  for (std::size_t v = 0; v < nvars; ++v) {
+    const auto domain = static_cast<std::uint32_t>(2 + rng.below(2));
+    vars.push_back(p->add_variable("v" + std::to_string(v), domain));
+    domains.push_back(domain);
+  }
+
+  auto random_state_expr = [&]() {
+    // Random conjunction/disjunction of var==const literals.
+    Expr e = Expr::var(vars[rng.below(nvars)]) ==
+             static_cast<std::uint32_t>(rng.below(domains[0]));
+    for (std::size_t i = 0; i < 1 + rng.below(2); ++i) {
+      const std::size_t v = rng.below(nvars);
+      const Expr lit =
+          Expr::var(vars[v]) == static_cast<std::uint32_t>(rng.below(domains[v]));
+      e = rng.flip() ? (e && lit) : (e || lit);
+    }
+    return e;
+  };
+
+  const std::size_t nproc = 1 + rng.below(3);
+  for (std::size_t j = 0; j < nproc; ++j) {
+    prog::Process proc;
+    proc.name = "p" + std::to_string(j);
+    // Writes: one or two variables; reads: writes + random others.
+    std::vector<bool> writes(nvars, false);
+    writes[rng.below(nvars)] = true;
+    if (rng.chance(1, 3)) writes[rng.below(nvars)] = true;
+    std::vector<bool> reads = writes;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (rng.flip()) reads[v] = true;
+    }
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (reads[v]) proc.reads.push_back(vars[v]);
+      if (writes[v]) proc.writes.push_back(vars[v]);
+    }
+    const std::size_t nactions = 1 + rng.below(2);
+    for (std::size_t a = 0; a < nactions; ++a) {
+      // Guard over readable variables only (well-formed programs).
+      Expr guard = Expr::bool_const(true);
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (reads[v] && rng.flip()) {
+          guard = guard && (Expr::var(vars[v]) ==
+                            static_cast<std::uint32_t>(rng.below(domains[v])));
+        }
+      }
+      lang::Action action;
+      action.name = "a" + std::to_string(a);
+      action.guard = guard;
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (writes[v] && rng.flip()) {
+          action.assigns.push_back(
+              {vars[v],
+               {Expr::constant(static_cast<std::uint32_t>(
+                   rng.below(domains[v])))}});
+        }
+      }
+      if (action.assigns.empty()) {
+        action.assigns.push_back(
+            {proc.writes[0], {Expr::constant(0)}});
+      }
+      proc.actions.push_back(std::move(action));
+    }
+    p->add_process(std::move(proc));
+  }
+
+  const std::size_t nfaults = 1 + rng.below(2);
+  for (std::size_t f = 0; f < nfaults; ++f) {
+    lang::Action fault;
+    fault.name = "f" + std::to_string(f);
+    fault.guard = rng.flip() ? Expr::bool_const(true) : random_state_expr();
+    fault.havoc.push_back(vars[rng.below(nvars)]);
+    p->add_fault(std::move(fault));
+  }
+
+  p->set_invariant(random_state_expr());
+  if (rng.flip()) p->add_bad_states(random_state_expr());
+  if (rng.chance(1, 3)) {
+    const std::size_t v = rng.below(nvars);
+    p->add_bad_transitions(random_state_expr() &&
+                           Expr::next(vars[v]) != Expr::var(vars[v]));
+  }
+  return p;
+}
+
+class RandomModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomModelTest, LazySuccessesAreSound) {
+  lr::support::SplitMix64 rng(GetParam());
+  int successes = 0;
+  for (int round = 0; round < 40; ++round) {
+    auto program = random_program(rng);
+    const RepairResult result = lazy_repair(*program);
+    if (!result.success) continue;
+    ++successes;
+    const VerifyReport report = verify_masking(*program, result);
+    EXPECT_TRUE(report.ok) << "seed " << GetParam() << " round " << round;
+    for (const auto& f : report.failures) {
+      ADD_FAILURE() << "round " << round << ": " << f;
+    }
+    xmodel::ExplicitModel model(*program);
+    const auto explicit_report = model.verify(result);
+    EXPECT_TRUE(explicit_report.ok) << "seed " << GetParam() << " round "
+                                    << round;
+    for (const auto& f : explicit_report.failures) {
+      ADD_FAILURE() << "round " << round << " (explicit): " << f;
+    }
+  }
+  // The generator is tuned so a healthy fraction of models is repairable;
+  // a sweep that never succeeds would test nothing.
+  EXPECT_GT(successes, 0) << "seed " << GetParam();
+}
+
+TEST_P(RandomModelTest, CautiousSuccessesAreSound) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0xCAB005Eull);
+  Options options;
+  options.group_method = GroupMethod::kOneShot;
+  int successes = 0;
+  for (int round = 0; round < 25; ++round) {
+    auto program = random_program(rng);
+    const RepairResult result = cautious_repair(*program, options);
+    if (!result.success) continue;
+    ++successes;
+    const VerifyReport report = verify_masking(*program, result);
+    EXPECT_TRUE(report.ok) << "seed " << GetParam() << " round " << round;
+    for (const auto& f : report.failures) {
+      ADD_FAILURE() << "round " << round << ": " << f;
+    }
+  }
+  EXPECT_GT(successes, 0) << "seed " << GetParam();
+}
+
+TEST_P(RandomModelTest, FailsafeSuccessesAreSound) {
+  lr::support::SplitMix64 rng(GetParam() ^ 0xFA15AFEull);
+  Options options;
+  options.level = ToleranceLevel::kFailsafe;
+  int successes = 0;
+  for (int round = 0; round < 25; ++round) {
+    auto program = random_program(rng);
+    const RepairResult result = lazy_repair(*program, options);
+    if (!result.success) continue;
+    ++successes;
+    const VerifyReport report =
+        verify_masking(*program, result, ToleranceLevel::kFailsafe);
+    EXPECT_TRUE(report.ok) << "seed " << GetParam() << " round " << round;
+    for (const auto& f : report.failures) {
+      ADD_FAILURE() << "round " << round << ": " << f;
+    }
+  }
+  EXPECT_GT(successes, 0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelTest,
+                         ::testing::Values(11ull, 23ull, 37ull, 53ull,
+                                           71ull, 97ull));
+
+}  // namespace
+}  // namespace lr::repair

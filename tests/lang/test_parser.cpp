@@ -1,0 +1,146 @@
+// Tests for the textual model parser.
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+
+namespace lr::lang {
+namespace {
+
+constexpr const char* kQuickstart = R"(
+// comment
+program quickstart;
+var x : 0..2;
+process worker {
+  reads x;
+  writes x;
+  action reset: x == 1 -> x := 0;
+}
+fault glitch: x == 0 -> x := 1;
+invariant x == 0;
+bad_state x == 2;
+)";
+
+TEST(ParserTest, ParsesQuickstartModel) {
+  auto p = parse_program(kQuickstart);
+  EXPECT_EQ(p->name(), "quickstart");
+  EXPECT_EQ(p->process_count(), 1u);
+  EXPECT_EQ(p->process(0).name, "worker");
+  EXPECT_DOUBLE_EQ(p->space().state_space_size(), 3.0);
+  EXPECT_DOUBLE_EQ(p->space().count_states(p->invariant()), 1.0);
+  EXPECT_DOUBLE_EQ(p->space().count_states(p->safety().bad_states), 1.0);
+  // The parsed model repairs and verifies end to end.
+  const auto result = repair::lazy_repair(*p);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(repair::verify_masking(*p, result).ok);
+}
+
+TEST(ParserTest, NondeterministicChoiceAndHavoc) {
+  auto p = parse_program(R"(
+program choices;
+var a : 0..3;
+var b : 0..1;
+process p {
+  reads a, b;
+  writes a, b;
+  action go: a == 0 -> a := {1, 2}, havoc b;
+}
+invariant true;
+)");
+  // From a=0: a' in {1,2} x b' in {0,1} = 4 transitions per b value = 8,
+  // minus any accidental self-loops (none: a changes).
+  EXPECT_DOUBLE_EQ(p->space().count_transitions(p->process_delta(0)), 8.0);
+}
+
+TEST(ParserTest, NextAndIteAndArithmetic) {
+  auto p = parse_program(R"(
+program rich;
+var x : 0..4;
+process p {
+  reads x;
+  writes x;
+  action bump: x < 4 -> x := ite(x == 3, 0, x + 1);
+}
+fault jolt: true -> havoc x;
+invariant x <= 3;
+bad_transition x == 4 && next(x) != 4;
+)");
+  auto& sp = p->space();
+  const std::uint32_t s3[1] = {3};
+  const std::uint32_t s0[1] = {0};
+  const std::uint32_t s1[1] = {1};
+  EXPECT_TRUE(sp.transition(s3, s0).leq(p->process_delta(0)));
+  EXPECT_TRUE(sp.transition(s0, s1).leq(p->process_delta(0)));
+  // bad_transition mentions the post-state.
+  const std::uint32_t s4[1] = {4};
+  EXPECT_TRUE(sp.transition(s4, s0).leq(p->safety().bad_trans));
+  EXPECT_FALSE(sp.transition(s3, s0).leq(p->safety().bad_trans));
+}
+
+TEST(ParserTest, MultipleInvariantsConjoinBadStatesDisjoin) {
+  auto p = parse_program(R"(
+program multi;
+var a : 0..1;
+var b : 0..1;
+process p { reads a, b; writes a; action t: a == 0 -> a := 1; }
+invariant a == 0;
+invariant b == 0;
+bad_state a == 1;
+bad_state b == 1;
+)");
+  EXPECT_DOUBLE_EQ(p->space().count_states(p->invariant()), 1.0);
+  EXPECT_DOUBLE_EQ(p->space().count_states(p->safety().bad_states), 3.0);
+}
+
+TEST(ParserTest, DottedIdentifiers) {
+  auto p = parse_program(R"(
+program dotted;
+var d.g : 0..1;
+var f.0 : 0..1;
+process p { reads d.g, f.0; writes f.0; action t: f.0 == 0 -> f.0 := d.g; }
+invariant true;
+)");
+  EXPECT_TRUE(p->space().find("d.g").has_value());
+  EXPECT_TRUE(p->space().find("f.0").has_value());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_program("program x;\nvar a : 0..1;\nbogus q;\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(ParserTest, RejectsBadInput) {
+  EXPECT_THROW((void)parse_program(""), ParseError);
+  EXPECT_THROW((void)parse_program("program x;"), ParseError);  // no invariant
+  EXPECT_THROW((void)parse_program("program x; var a : 1..2; invariant true;"),
+               ParseError);  // range must start at 0
+  EXPECT_THROW(
+      (void)parse_program("program x; var a : 0..1; var a : 0..1;"),
+      ParseError);  // duplicate
+  EXPECT_THROW(
+      (void)parse_program(
+          "program x; process p { reads zz; writes zz; } invariant true;"),
+      ParseError);  // unknown variable
+  EXPECT_THROW((void)parse_program("program x; var a : 0..1; invariant a @;"),
+               ParseError);  // bad character
+}
+
+TEST(ParserTest, ModelFilesInRepositoryParseAndRepair) {
+  for (const char* name : {"quickstart.lr", "mutex_ring.lr", "tmr.lr"}) {
+    const std::string path = std::string(LR_SOURCE_DIR) + "/models/" + name;
+    SCOPED_TRACE(path);
+    auto p = parse_program_file(path);
+    const auto result = repair::lazy_repair(*p);
+    EXPECT_TRUE(result.success) << result.failure_reason;
+    EXPECT_TRUE(repair::verify_masking(*p, result).ok);
+  }
+}
+
+}  // namespace
+}  // namespace lr::lang

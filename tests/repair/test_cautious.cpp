@@ -1,0 +1,105 @@
+// Tests for the cautious-repair baseline and its agreement with lazy
+// repair.
+
+#include <gtest/gtest.h>
+
+#include "casestudies/byzantine.hpp"
+#include "repair/cautious.hpp"
+#include "repair/lazy.hpp"
+#include "repair/verify.hpp"
+
+namespace lr::repair {
+namespace {
+
+using lang::Expr;
+using lang::action;
+
+TEST(CautiousRepairTest, ByzantineAgreementVerified) {
+  auto p = cs::make_byzantine({.non_generals = 3});
+  const RepairResult r = cautious_repair(*p);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  const VerifyReport report = verify_masking(*p, r);
+  EXPECT_TRUE(report.ok);
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+}
+
+TEST(CautiousRepairTest, OneShotVariantVerified) {
+  auto p = cs::make_byzantine({.non_generals = 3});
+  Options options;
+  options.group_method = GroupMethod::kOneShot;
+  const RepairResult r = cautious_repair(*p, options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_masking(*p, r).ok);
+}
+
+TEST(CautiousRepairTest, TwoGroupMethodsFindTheSameInvariant) {
+  auto p1 = cs::make_byzantine({.non_generals = 3});
+  const RepairResult enumerated = cautious_repair(*p1);
+  auto p2 = cs::make_byzantine({.non_generals = 3});
+  Options options;
+  options.group_method = GroupMethod::kOneShot;
+  const RepairResult oneshot = cautious_repair(*p2, options);
+  ASSERT_TRUE(enumerated.success);
+  ASSERT_TRUE(oneshot.success);
+  EXPECT_DOUBLE_EQ(p1->space().count_states(enumerated.invariant),
+                   p2->space().count_states(oneshot.invariant));
+}
+
+TEST(CautiousRepairTest, AgreesWithLazyOnSolvability) {
+  // Both algorithms must agree that BA^3 is repairable and that a doomed
+  // program is not.
+  auto p = cs::make_byzantine({.non_generals = 3});
+  EXPECT_TRUE(cautious_repair(*p).success);
+  auto p2 = cs::make_byzantine({.non_generals = 3});
+  EXPECT_TRUE(lazy_repair(*p2).success);
+
+  auto doomed = std::make_unique<prog::DistributedProgram>("doomed");
+  const sym::VarId x = doomed->add_variable("x", 2);
+  prog::Process proc;
+  proc.name = "p";
+  proc.reads = {x};
+  proc.writes = {x};
+  doomed->add_process(std::move(proc));
+  doomed->add_fault(
+      action("kill", Expr::var(x) == 0u).assign(x, Expr::constant(1)));
+  doomed->set_invariant(Expr::var(x) == 0u);
+  doomed->add_bad_states(Expr::var(x) == 1u);
+  EXPECT_FALSE(cautious_repair(*doomed).success);
+  auto doomed2 = std::make_unique<prog::DistributedProgram>("doomed2");
+  const sym::VarId y = doomed2->add_variable("x", 2);
+  prog::Process proc2;
+  proc2.name = "p";
+  proc2.reads = {y};
+  proc2.writes = {y};
+  doomed2->add_process(std::move(proc2));
+  doomed2->add_fault(
+      action("kill", Expr::var(y) == 0u).assign(y, Expr::constant(1)));
+  doomed2->set_invariant(Expr::var(y) == 0u);
+  doomed2->add_bad_states(Expr::var(y) == 1u);
+  EXPECT_FALSE(lazy_repair(*doomed2).success);
+}
+
+TEST(CautiousRepairTest, InvariantIsRicherThanLazy) {
+  // A structural observation the benchmarks rely on: cautious's tolerance
+  // restarts give it at least as many legitimate states on BA.
+  auto p1 = cs::make_byzantine({.non_generals = 3});
+  const RepairResult cautious = cautious_repair(*p1);
+  auto p2 = cs::make_byzantine({.non_generals = 3});
+  const RepairResult lazy = lazy_repair(*p2);
+  ASSERT_TRUE(cautious.success);
+  ASSERT_TRUE(lazy.success);
+  EXPECT_GE(p1->space().count_states(cautious.invariant),
+            p2->space().count_states(lazy.invariant));
+}
+
+TEST(CautiousRepairTest, FailStopVariantVerified) {
+  auto p = cs::make_byzantine({.non_generals = 2, .fail_stop = true});
+  Options options;
+  options.group_method = GroupMethod::kOneShot;  // keep the test fast
+  const RepairResult r = cautious_repair(*p, options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(verify_masking(*p, r).ok);
+}
+
+}  // namespace
+}  // namespace lr::repair
