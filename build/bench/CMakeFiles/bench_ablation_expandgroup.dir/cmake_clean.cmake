@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_expandgroup.dir/bench_ablation_expandgroup.cpp.o"
+  "CMakeFiles/bench_ablation_expandgroup.dir/bench_ablation_expandgroup.cpp.o.d"
+  "bench_ablation_expandgroup"
+  "bench_ablation_expandgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_expandgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

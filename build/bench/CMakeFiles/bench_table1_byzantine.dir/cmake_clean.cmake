@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_byzantine.dir/bench_table1_byzantine.cpp.o"
+  "CMakeFiles/bench_table1_byzantine.dir/bench_table1_byzantine.cpp.o.d"
+  "bench_table1_byzantine"
+  "bench_table1_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_bafs.dir/bench_table2_bafs.cpp.o"
+  "CMakeFiles/bench_table2_bafs.dir/bench_table2_bafs.cpp.o.d"
+  "bench_table2_bafs"
+  "bench_table2_bafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_bafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_cli.dir/repair_cli.cpp.o"
+  "CMakeFiles/repair_cli.dir/repair_cli.cpp.o.d"
+  "repair_cli"
+  "repair_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

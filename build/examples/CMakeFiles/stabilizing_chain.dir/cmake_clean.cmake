@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabilizing_chain.dir/stabilizing_chain.cpp.o"
+  "CMakeFiles/stabilizing_chain.dir/stabilizing_chain.cpp.o.d"
+  "stabilizing_chain"
+  "stabilizing_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabilizing_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/lazyrepair.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/ops.cpp" "src/CMakeFiles/lazyrepair.dir/bdd/ops.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/bdd/ops.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/lazyrepair.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/bdd/reorder.cpp.o.d"
+  "/root/repo/src/casestudies/byzantine.cpp" "src/CMakeFiles/lazyrepair.dir/casestudies/byzantine.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/casestudies/byzantine.cpp.o.d"
+  "/root/repo/src/casestudies/chain.cpp" "src/CMakeFiles/lazyrepair.dir/casestudies/chain.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/casestudies/chain.cpp.o.d"
+  "/root/repo/src/casestudies/tmr.cpp" "src/CMakeFiles/lazyrepair.dir/casestudies/tmr.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/casestudies/tmr.cpp.o.d"
+  "/root/repo/src/casestudies/token_ring.cpp" "src/CMakeFiles/lazyrepair.dir/casestudies/token_ring.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/casestudies/token_ring.cpp.o.d"
+  "/root/repo/src/explicit_model/explicit_model.cpp" "src/CMakeFiles/lazyrepair.dir/explicit_model/explicit_model.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/explicit_model/explicit_model.cpp.o.d"
+  "/root/repo/src/lang/action.cpp" "src/CMakeFiles/lazyrepair.dir/lang/action.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/lang/action.cpp.o.d"
+  "/root/repo/src/lang/expr.cpp" "src/CMakeFiles/lazyrepair.dir/lang/expr.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/lang/expr.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/lazyrepair.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/program/distributed_program.cpp" "src/CMakeFiles/lazyrepair.dir/program/distributed_program.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/program/distributed_program.cpp.o.d"
+  "/root/repo/src/repair/add_masking.cpp" "src/CMakeFiles/lazyrepair.dir/repair/add_masking.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/add_masking.cpp.o.d"
+  "/root/repo/src/repair/cautious.cpp" "src/CMakeFiles/lazyrepair.dir/repair/cautious.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/cautious.cpp.o.d"
+  "/root/repo/src/repair/describe.cpp" "src/CMakeFiles/lazyrepair.dir/repair/describe.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/describe.cpp.o.d"
+  "/root/repo/src/repair/export.cpp" "src/CMakeFiles/lazyrepair.dir/repair/export.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/export.cpp.o.d"
+  "/root/repo/src/repair/lazy.cpp" "src/CMakeFiles/lazyrepair.dir/repair/lazy.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/lazy.cpp.o.d"
+  "/root/repo/src/repair/realize.cpp" "src/CMakeFiles/lazyrepair.dir/repair/realize.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/realize.cpp.o.d"
+  "/root/repo/src/repair/verify.cpp" "src/CMakeFiles/lazyrepair.dir/repair/verify.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/repair/verify.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/lazyrepair.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "src/CMakeFiles/lazyrepair.dir/support/stopwatch.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/support/stopwatch.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/lazyrepair.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/support/table.cpp.o.d"
+  "/root/repo/src/symbolic/space.cpp" "src/CMakeFiles/lazyrepair.dir/symbolic/space.cpp.o" "gcc" "src/CMakeFiles/lazyrepair.dir/symbolic/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_add_masking.dir/repair/test_add_masking.cpp.o"
+  "CMakeFiles/test_add_masking.dir/repair/test_add_masking.cpp.o.d"
+  "test_add_masking"
+  "test_add_masking.pdb"
+  "test_add_masking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_add_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

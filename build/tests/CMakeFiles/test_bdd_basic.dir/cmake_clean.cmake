@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_basic.dir/bdd/test_bdd_basic.cpp.o"
+  "CMakeFiles/test_bdd_basic.dir/bdd/test_bdd_basic.cpp.o.d"
+  "test_bdd_basic"
+  "test_bdd_basic.pdb"
+  "test_bdd_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

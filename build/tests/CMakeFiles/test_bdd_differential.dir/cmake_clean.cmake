@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_differential.dir/bdd/test_bdd_differential.cpp.o"
+  "CMakeFiles/test_bdd_differential.dir/bdd/test_bdd_differential.cpp.o.d"
+  "test_bdd_differential"
+  "test_bdd_differential.pdb"
+  "test_bdd_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

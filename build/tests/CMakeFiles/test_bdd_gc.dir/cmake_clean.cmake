@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_gc.dir/bdd/test_bdd_gc.cpp.o"
+  "CMakeFiles/test_bdd_gc.dir/bdd/test_bdd_gc.cpp.o.d"
+  "test_bdd_gc"
+  "test_bdd_gc.pdb"
+  "test_bdd_gc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

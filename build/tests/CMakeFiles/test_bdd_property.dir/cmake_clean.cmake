@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_property.dir/bdd/test_bdd_property.cpp.o"
+  "CMakeFiles/test_bdd_property.dir/bdd/test_bdd_property.cpp.o.d"
+  "test_bdd_property"
+  "test_bdd_property.pdb"
+  "test_bdd_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_quantify.dir/bdd/test_bdd_quantify.cpp.o"
+  "CMakeFiles/test_bdd_quantify.dir/bdd/test_bdd_quantify.cpp.o.d"
+  "test_bdd_quantify"
+  "test_bdd_quantify.pdb"
+  "test_bdd_quantify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_quantify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bdd_quantify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_reorder.dir/bdd/test_bdd_reorder.cpp.o"
+  "CMakeFiles/test_bdd_reorder.dir/bdd/test_bdd_reorder.cpp.o.d"
+  "test_bdd_reorder"
+  "test_bdd_reorder.pdb"
+  "test_bdd_reorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cautious.dir/repair/test_cautious.cpp.o"
+  "CMakeFiles/test_cautious.dir/repair/test_cautious.cpp.o.d"
+  "test_cautious"
+  "test_cautious.pdb"
+  "test_cautious[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cautious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

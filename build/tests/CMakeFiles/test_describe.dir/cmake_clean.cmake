@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_describe.dir/repair/test_describe.cpp.o"
+  "CMakeFiles/test_describe.dir/repair/test_describe.cpp.o.d"
+  "test_describe"
+  "test_describe.pdb"
+  "test_describe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_describe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

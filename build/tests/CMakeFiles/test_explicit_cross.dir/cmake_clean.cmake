@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explicit_cross.dir/explicit_model/test_explicit_cross.cpp.o"
+  "CMakeFiles/test_explicit_cross.dir/explicit_model/test_explicit_cross.cpp.o.d"
+  "test_explicit_cross"
+  "test_explicit_cross.pdb"
+  "test_explicit_cross[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explicit_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_explicit_cross.
+# This may be replaced when dependencies are built.

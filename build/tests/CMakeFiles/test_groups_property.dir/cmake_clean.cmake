@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groups_property.dir/program/test_groups_property.cpp.o"
+  "CMakeFiles/test_groups_property.dir/program/test_groups_property.cpp.o.d"
+  "test_groups_property"
+  "test_groups_property.pdb"
+  "test_groups_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groups_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lazy_repair.dir/repair/test_lazy_repair.cpp.o"
+  "CMakeFiles/test_lazy_repair.dir/repair/test_lazy_repair.cpp.o.d"
+  "test_lazy_repair"
+  "test_lazy_repair.pdb"
+  "test_lazy_repair[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lazy_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

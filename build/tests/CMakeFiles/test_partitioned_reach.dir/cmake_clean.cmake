@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_reach.dir/symbolic/test_partitioned_reach.cpp.o"
+  "CMakeFiles/test_partitioned_reach.dir/symbolic/test_partitioned_reach.cpp.o.d"
+  "test_partitioned_reach"
+  "test_partitioned_reach.pdb"
+  "test_partitioned_reach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

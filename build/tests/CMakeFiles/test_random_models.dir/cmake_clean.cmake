@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_models.dir/integration/test_random_models.cpp.o"
+  "CMakeFiles/test_random_models.dir/integration/test_random_models.cpp.o.d"
+  "test_random_models"
+  "test_random_models.pdb"
+  "test_random_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sift_option.dir/repair/test_sift_option.cpp.o"
+  "CMakeFiles/test_sift_option.dir/repair/test_sift_option.cpp.o.d"
+  "test_sift_option"
+  "test_sift_option.pdb"
+  "test_sift_option[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sift_option.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

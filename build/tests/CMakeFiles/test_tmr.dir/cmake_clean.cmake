@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmr.dir/casestudies/test_tmr.cpp.o"
+  "CMakeFiles/test_tmr.dir/casestudies/test_tmr.cpp.o.d"
+  "test_tmr"
+  "test_tmr.pdb"
+  "test_tmr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tolerance_levels.dir/repair/test_tolerance_levels.cpp.o"
+  "CMakeFiles/test_tolerance_levels.dir/repair/test_tolerance_levels.cpp.o.d"
+  "test_tolerance_levels"
+  "test_tolerance_levels.pdb"
+  "test_tolerance_levels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tolerance_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

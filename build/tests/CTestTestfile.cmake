@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bdd_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd_quantify[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd_property[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_space[1]_include.cmake")
+include("/root/repo/build/tests/test_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_program[1]_include.cmake")
+include("/root/repo/build/tests/test_lazy_repair[1]_include.cmake")
+include("/root/repo/build/tests/test_explicit_cross[1]_include.cmake")
+include("/root/repo/build/tests/test_casestudies[1]_include.cmake")
+include("/root/repo/build/tests/test_add_masking[1]_include.cmake")
+include("/root/repo/build/tests/test_realize[1]_include.cmake")
+include("/root/repo/build/tests/test_cautious[1]_include.cmake")
+include("/root/repo/build/tests/test_theorems[1]_include.cmake")
+include("/root/repo/build/tests/test_groups_property[1]_include.cmake")
+include("/root/repo/build/tests/test_describe[1]_include.cmake")
+include("/root/repo/build/tests/test_tolerance_levels[1]_include.cmake")
+include("/root/repo/build/tests/test_tmr[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioned_reach[1]_include.cmake")
+include("/root/repo/build/tests/test_random_models[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_bdd_reorder[1]_include.cmake")
+include("/root/repo/build/tests/test_sift_option[1]_include.cmake")
