@@ -4,16 +4,25 @@
 // run registers one row; after google-benchmark finishes, the binary prints
 // the paper-style table assembled from those rows (this is what
 // EXPERIMENTS.md quotes).
+//
+// Every bench binary also understands two observability flags (stripped
+// from argv before google-benchmark sees them):
+//   --metrics-json=FILE   write the metrics registry as a JSON run report
+//   --trace-out=FILE      collect spans and write Chrome trace-event JSON
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "repair/report.hpp"
 #include "repair/types.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace lr::bench {
 
@@ -39,6 +48,12 @@ inline void record(const std::string& instance, const std::string& algorithm,
                        result.stats.step1_seconds, result.stats.step2_seconds,
                        total_seconds, result.stats.invariant_states,
                        result.success});
+  // Mirror the run into the metrics registry so --metrics-json reports
+  // carry per-instance numbers alongside the aggregate repair.*/bdd.* keys.
+  repair::record_run_metrics(result.stats);
+  repair::record_run_metrics(result.stats,
+                             "bench." + instance + "." + algorithm);
+  support::metrics::registry().add("bench.runs");
 }
 
 /// Prints the collected rows as one paper-style table.
@@ -58,15 +73,53 @@ inline void print_table(const std::string& title) {
   table.print(std::cout);
 }
 
+/// Removes "--key=value" from argv (google-benchmark rejects flags it does
+/// not know) and returns the value, or "" when absent.
+inline std::string extract_flag(int* argc, char** argv, const char* key) {
+  const std::string prefix = std::string(key) + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return value;
+}
+
+/// Writes the observability artifacts requested on the command line.
+inline void write_reports(const std::string& trace_path,
+                          const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    support::trace::stop();
+    if (!support::trace::write_chrome_json_file(trace_path)) {
+      std::cerr << "cannot write " << trace_path << "\n";
+    }
+  }
+  if (!metrics_path.empty() && !repair::write_metrics_report(metrics_path)) {
+    std::cerr << "cannot write " << metrics_path << "\n";
+  }
+}
+
 }  // namespace lr::bench
 
-/// Custom main: run benchmarks, then print the assembled table.
-#define LR_BENCH_MAIN(TITLE)                            \
-  int main(int argc, char** argv) {                     \
-    ::benchmark::Initialize(&argc, argv);               \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();              \
-    ::benchmark::Shutdown();                            \
-    ::lr::bench::print_table(TITLE);                    \
-    return 0;                                           \
+/// Custom main: run benchmarks, then print the assembled table and any
+/// requested observability artifacts.
+#define LR_BENCH_MAIN(TITLE)                                              \
+  int main(int argc, char** argv) {                                       \
+    const std::string lr_metrics_path =                                   \
+        ::lr::bench::extract_flag(&argc, argv, "--metrics-json");         \
+    const std::string lr_trace_path =                                     \
+        ::lr::bench::extract_flag(&argc, argv, "--trace-out");            \
+    if (!lr_trace_path.empty()) ::lr::support::trace::start();            \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    ::lr::bench::print_table(TITLE);                                      \
+    ::lr::bench::write_reports(lr_trace_path, lr_metrics_path);           \
+    return 0;                                                             \
   }

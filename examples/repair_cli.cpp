@@ -4,7 +4,8 @@
 // Usage:
 //   repair_cli MODEL.lr [--cautious] [--oneshot] [--no-heuristic]
 //              [--level=masking|failsafe|nonmasking]
-//              [--print-program] [--no-verify]
+//              [--print-program] [--no-verify] [--stats]
+//              [--trace-out=FILE] [--metrics-json=FILE] [--log-level=LEVEL]
 
 #include <cstdio>
 #include <fstream>
@@ -15,20 +16,46 @@
 #include "repair/describe.hpp"
 #include "repair/export.hpp"
 #include "repair/lazy.hpp"
+#include "repair/report.hpp"
 #include "repair/verify.hpp"
 #include "support/cli.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 int main(int argc, char** argv) {
   const lr::support::CommandLine cli(argc, argv);
   if (cli.positional().empty()) {
-    std::printf("usage: %s MODEL.lr [--cautious] [--oneshot] "
-                "[--no-heuristic] [--level=masking|failsafe|nonmasking] "
-                "[--print-program] [--export=OUT.lr] [--no-verify]\n",
-                cli.program().c_str());
+    std::printf(
+        "usage: %s MODEL.lr [options]\n"
+        "  --cautious            use the cautious baseline (default: lazy)\n"
+        "  --oneshot             one-shot group quantification (ablation)\n"
+        "  --no-heuristic        disable the reachable-states restriction\n"
+        "  --level=LEVEL         masking|failsafe|nonmasking (default masking)\n"
+        "  --print-program       print the synthesized guarded commands\n"
+        "  --export=OUT.lr       write the synthesized model\n"
+        "  --no-verify           skip the independent verifier\n"
+        "  --stats               print engine statistics (incl. BDD manager)\n"
+        "  --trace-out=FILE      write a Chrome trace-event JSON span trace\n"
+        "  --metrics-json=FILE   write a machine-readable JSON run report\n"
+        "  --log-level=LEVEL     trace|debug|info|warn|error|off (default\n"
+        "                        warn; LR_LOG_LEVEL env var also works)\n",
+        cli.program().c_str());
     return 2;
   }
+
+  const std::string log_level = cli.get("log-level", "");
+  if (!log_level.empty()) {
+    const auto parsed = lr::support::parse_log_level(log_level);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown log level '%s'\n", log_level.c_str());
+      return 2;
+    }
+    lr::support::set_log_level(*parsed);
+  }
+  const std::string trace_path = cli.get("trace-out", "");
+  if (!trace_path.empty()) lr::support::trace::start();
 
   std::unique_ptr<lr::prog::DistributedProgram> program;
   try {
@@ -61,8 +88,29 @@ int main(int argc, char** argv) {
   const lr::repair::RepairResult result =
       cli.has("cautious") ? lr::repair::cautious_repair(*program, options)
                           : lr::repair::lazy_repair(*program, options);
+
+  lr::repair::record_run_metrics(result.stats);
+  const std::string metrics_path = cli.get("metrics-json", "");
+  const auto write_reports = [&trace_path, &metrics_path] {
+    bool ok = true;
+    if (!trace_path.empty()) {
+      lr::support::trace::stop();
+      if (!lr::support::trace::write_chrome_json_file(trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        ok = false;
+      }
+    }
+    if (!metrics_path.empty() &&
+        !lr::repair::write_metrics_report(metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      ok = false;
+    }
+    return ok;
+  };
+
   if (!result.success) {
     std::printf("repair failed: %s\n", result.failure_reason.c_str());
+    write_reports();
     return 1;
   }
 
@@ -77,6 +125,13 @@ int main(int argc, char** argv) {
   table.add_row({"fault-span states",
                  lr::support::format_state_count(result.stats.span_states)});
   table.print(std::cout);
+
+  if (cli.has("stats")) {
+    std::printf("\nengine statistics:\n");
+    for (const std::string& line : lr::repair::describe_stats(result.stats)) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
 
   if (cli.has("print-program")) {
     for (std::size_t j = 0; j < program->process_count(); ++j) {
@@ -93,12 +148,14 @@ int main(int argc, char** argv) {
     std::ofstream out(export_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
+      write_reports();
       return 1;
     }
     out << lr::repair::export_model(*program, result);
     std::printf("\nsynthesized model written to %s\n", export_path.c_str());
   }
 
+  bool verify_ok = true;
   if (!cli.has("no-verify")) {
     const lr::repair::VerifyReport report =
         lr::repair::verify_masking(*program, result, options.level);
@@ -106,7 +163,8 @@ int main(int argc, char** argv) {
     for (const std::string& failure : report.failures) {
       std::printf("  %s\n", failure.c_str());
     }
-    return report.ok ? 0 : 1;
+    verify_ok = report.ok;
   }
-  return 0;
+  if (!write_reports()) return 1;
+  return verify_ok ? 0 : 1;
 }

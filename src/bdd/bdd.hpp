@@ -120,6 +120,7 @@ struct ManagerStats {
   std::uint64_t created_nodes = 0;   ///< total make_node allocations
   std::uint64_t gc_runs = 0;         ///< garbage collections performed
   std::uint64_t gc_reclaimed = 0;    ///< nodes reclaimed across all GCs
+  std::uint64_t reorder_runs = 0;    ///< reorder_sifting() invocations
   std::uint64_t unique_hits = 0;     ///< make_node found existing node
   std::uint64_t cache_lookups = 0;   ///< operation cache probes
   std::uint64_t cache_hits = 0;      ///< operation cache hits
@@ -279,7 +280,12 @@ class Manager {
   // --- Introspection ---------------------------------------------------------
   [[nodiscard]] std::size_t node_count(const Bdd& f);
   [[nodiscard]] std::size_t live_nodes() const noexcept;
-  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ManagerStats& stats() const noexcept {
+    // live_nodes changes on every apply; refresh it at observation time so
+    // snapshots are accurate even when no GC has run.
+    stats_.live_nodes = live_nodes();
+    return stats_;
+  }
 
   /// Forces a garbage collection (also runs automatically under pressure).
   void collect_garbage();
@@ -386,7 +392,7 @@ class Manager {
   std::size_t gc_threshold_;
   bool gc_enabled_ = true;
 
-  ManagerStats stats_;
+  mutable ManagerStats stats_;
 };
 
 }  // namespace lr::bdd

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/trace.hpp"
+
 namespace lr::bdd {
 
 namespace {
@@ -266,6 +268,8 @@ void Manager::mark(NodeId root, std::vector<NodeId>& stack) {
 }
 
 void Manager::collect_garbage() {
+  LR_TRACE_SPAN_NAMED(span, "bdd.gc");
+  const std::size_t live_before = live_nodes();
   ++stats_.gc_runs;
   std::vector<NodeId> stack;
   stack.reserve(1024);
@@ -306,6 +310,10 @@ void Manager::collect_garbage() {
   // Stale cache entries may reference freed slots; drop everything.
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
   stats_.live_nodes = live_nodes();
+  if (support::trace::enabled()) {
+    span.attr("live_before", static_cast<std::uint64_t>(live_before));
+    span.attr("live_after", static_cast<std::uint64_t>(stats_.live_nodes));
+  }
 }
 
 // --- Operation cache -----------------------------------------------------------

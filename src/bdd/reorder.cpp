@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "support/trace.hpp"
 
 // Dynamic variable reordering (Rudell's sifting).
 //
@@ -71,6 +72,9 @@ std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
 
 std::size_t Manager::reorder_sifting(int max_passes) {
   if (num_vars_ < 2) return live_nodes();
+  LR_TRACE_SPAN_NAMED(span, "bdd.sift");
+  ++stats_.reorder_runs;
+  const std::size_t live_before = live_nodes();
   const bool gc_was_enabled = gc_enabled_;
   gc_enabled_ = false;  // GC timing is managed explicitly below
   collect_garbage();
@@ -133,6 +137,10 @@ std::size_t Manager::reorder_sifting(int max_passes) {
 
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
   gc_enabled_ = gc_was_enabled;
+  if (support::trace::enabled()) {
+    span.attr("live_before", static_cast<std::uint64_t>(live_before));
+    span.attr("live_after", static_cast<std::uint64_t>(live_nodes()));
+  }
   return live_nodes();
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/log.hpp"
+#include "support/trace.hpp"
+
 namespace lr::repair {
 
 namespace {
@@ -25,6 +28,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
                           const bdd::Bdd& extra_bad_trans,
                           const bdd::Bdd& context_in, const Options& options,
                           Stats& stats) {
+  LR_TRACE_SPAN_NAMED(span, "add_masking");
   sym::Space& space = program.space();
   bdd::Manager& mgr = space.manager();
 
@@ -71,10 +75,13 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   bdd::Bdd ms = (bad_states |
                  mgr.exists(faults & bad_trans, space.cube(sym::Version::kNext))) &
                 context;
-  while (true) {
-    const bdd::Bdd grown = (ms | space.preimage(faults, ms)) & context;
-    if (grown == ms) break;
-    ms = grown;
+  {
+    LR_TRACE_SPAN("add_masking.ms_fixpoint");
+    while (true) {
+      const bdd::Bdd grown = (ms | space.preimage(faults, ms)) & context;
+      if (grown == ms) break;
+      ms = grown;
+    }
   }
 
   // --- mt: transitions the fault-tolerant program must never execute ----------
@@ -88,6 +95,8 @@ StepOneResult add_masking(prog::DistributedProgram& program,
 
   // --- Shrink (S1, T1) to the largest consistent pair -------------------------
   bdd::Bdd p1;
+  {
+  LR_TRACE_SPAN("add_masking.shrink_fixpoint");
   while (true) {
       ++stats.addmasking_rounds;
       const bdd::Bdd inv_part = (delta_p & s1 & space.prime(s1)).minus(mt);
@@ -132,6 +141,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       s1 = s2;
       t1 = t2;
     }
+  }
 
   // --- Construct δ' with maximal behavior ---------------------------------------
   // Original behavior is kept wholesale (inside and outside the invariant);
@@ -153,13 +163,16 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   bdd::Bdd remaining =
       options.level == ToleranceLevel::kFailsafe ? space.bdd_false() : outside;
   stats.recovery_layers = 0;
-  while (!remaining.is_false()) {
-    const bdd::Bdd layer = space.preimage(p1, below) & remaining;
-    if (layer.is_false()) break;
-    added |= p1 & layer & space.prime(below);
-    below |= layer;
-    remaining = remaining.minus(layer);
-    ++stats.recovery_layers;
+  {
+    LR_TRACE_SPAN("add_masking.recovery_layers");
+    while (!remaining.is_false()) {
+      const bdd::Bdd layer = space.preimage(p1, below) & remaining;
+      if (layer.is_false()) break;
+      added |= p1 & layer & space.prime(below);
+      below |= layer;
+      remaining = remaining.minus(layer);
+      ++stats.recovery_layers;
+    }
   }
 
   const bdd::Bdd final_delta = inv_part | original_outside | added;
@@ -172,6 +185,19 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   stats.invariant_states = space.count_states(s1);
   stats.peak_bdd_nodes =
       std::max(stats.peak_bdd_nodes, mgr.stats().peak_nodes);
+  LR_LOG(debug) << "[add_masking] rounds=" << stats.addmasking_rounds
+                << " recovery_layers=" << stats.recovery_layers
+                << " |S'|=" << stats.invariant_states
+                << " |T'|=" << stats.span_states;
+  if (support::trace::enabled()) {
+    span.attr("rounds", static_cast<std::uint64_t>(stats.addmasking_rounds));
+    span.attr("recovery_layers",
+              static_cast<std::uint64_t>(stats.recovery_layers));
+    span.attr("invariant_states", stats.invariant_states);
+    span.attr("span_states", stats.span_states);
+    span.attr("delta_nodes",
+              static_cast<std::uint64_t>(final_delta.node_count()));
+  }
   return result;
 }
 

@@ -1,11 +1,11 @@
 #include "repair/cautious.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include <algorithm>
 
+#include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace lr::repair {
 
@@ -70,11 +70,18 @@ bdd::Bdd tolerant_groups(prog::DistributedProgram& program, std::size_t j,
 
 RepairResult cautious_repair(prog::DistributedProgram& program,
                              const Options& options) {
+  LR_TRACE_SPAN_NAMED(run_span, "cautious_repair");
   sym::Space& space = program.space();
   bdd::Manager& mgr = space.manager();
   support::Stopwatch total;
 
   RepairResult result;
+  const auto finish = [&result, &mgr, &total] {
+    result.stats.total_seconds = total.seconds();
+    result.stats.bdd = mgr.stats();
+    result.stats.peak_bdd_nodes =
+        std::max(result.stats.peak_bdd_nodes, result.stats.bdd.peak_nodes);
+  };
   const std::size_t nproc = program.process_count();
   const bdd::Bdd delta_p = program.program_delta();
   const bdd::Bdd faults = program.fault_delta();
@@ -113,18 +120,20 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
 
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
     ++result.stats.outer_iterations;
-    if (std::getenv("LR_DEBUG_CAUTIOUS") != nullptr) {
-      std::fprintf(stderr, "[cautious] round=%zu s1=%.0f t1=%.0f refs=%zu\n",
-                   round, space.count_states(s1), space.count_states(t1),
-                   refinements);
-    }
+    LR_TRACE_SPAN_NAMED(round_span, "cautious_repair.round");
+    round_span.attr("round", static_cast<std::uint64_t>(round));
+    LR_LOG(debug) << "[cautious] round=" << round
+                  << " s1=" << space.count_states(s1)
+                  << " t1=" << space.count_states(t1)
+                  << " refs=" << refinements;
     if (s1.is_false()) {
       result.failure_reason = "invariant became empty";
-      result.stats.total_seconds = total.seconds();
+      finish();
       return result;
     }
 
     // --- Group-closed invariant behavior per process ----------------------------
+    LR_TRACE_SPAN_NAMED(groups_span, "cautious_repair.groups");
     const bdd::Bdd inv_zone = s1 & space.prime(s1) & ~mt;
     std::vector<bdd::Bdd> inv_j(nproc);
     bdd::Bdd inv_all = space.bdd_false();
@@ -152,8 +161,11 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       rec_all |= rec_j[j];
     }
 
+    groups_span.close();
+
     // --- Shrink (S1, T1) with the grouped transition sets -------------------------
     ++result.stats.addmasking_rounds;
+    LR_TRACE_SPAN_NAMED(shrink_span, "cautious_repair.shrink");
     const bdd::Bdd p1 = inv_all | inv_stutter | rec_all;
     bdd::Bdd t2 = t1;
     while (true) {
@@ -177,15 +189,15 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     bdd::Bdd s2 = s1 & t2;
     s2 = construct_invariant(space, s2, (inv_all | inv_stutter) & space.prime(s2));
     if (s2 != s1 || t2 != t1) {
-      if (std::getenv("LR_DEBUG_CAUTIOUS") != nullptr) {
-        std::fprintf(stderr, "[cautious]   shrink path\n");
-      }
+      LR_LOG(debug) << "[cautious]   shrink path";
       s1 = s2;
       t1 = t2;
       continue;  // groups must be re-derived for the shrunk pair
     }
+    shrink_span.close();
 
     // --- Layered, group-closed recovery selection ----------------------------------
+    LR_TRACE_SPAN_NAMED(layers_span, "cautious_repair.layers");
     bdd::Bdd below = s1;
     bdd::Bdd layer_decreasing = space.bdd_false();
     bdd::Bdd remaining = t1.minus(s1);
@@ -208,7 +220,10 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       actions |= final_j[j];
     }
 
+    layers_span.close();
+
     // --- Deadlock check over the program's own reachable span ----------------------
+    LR_TRACE_SPAN_NAMED(dl_span, "cautious_repair.deadlock_check");
     const bdd::Bdd realized = actions | inv_stutter;
     std::vector<bdd::Bdd> partitions = final_j;
     const std::vector<bdd::Bdd>& fault_parts = program.fault_action_deltas();
@@ -225,9 +240,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       // reference assumed: tighten the reference and redo the analysis
       // from the initial (S1, T1) so previously-rejected groups can enter.
       ++refinements;
-      if (std::getenv("LR_DEBUG_CAUTIOUS") != nullptr) {
-        std::fprintf(stderr, "[cautious]   refine path\n");
-      }
+      LR_LOG(debug) << "[cautious]   refine path";
       reach_ref &= span_full;
       s1 = program.invariant().minus(ms);
       t1 = valid_cur.minus(ms);
@@ -251,28 +264,35 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       result.delta = actions;
       result.stats.span_states = space.count_states(span);
       result.stats.invariant_states = space.count_states(s1);
-      result.stats.peak_bdd_nodes =
-          std::max(result.stats.peak_bdd_nodes, mgr.stats().peak_nodes);
-      result.stats.total_seconds = total.seconds();
+      finish();
       // The whole run is one cautious pass; report it as "step 1" time so
       // the benchmark tables have a single comparable column.
       result.stats.step1_seconds = result.stats.total_seconds;
+      if (support::trace::enabled()) {
+        run_span.attr("invariant_states", result.stats.invariant_states);
+        run_span.attr("span_states", result.stats.span_states);
+        run_span.attr("outer_iterations",
+                      static_cast<std::uint64_t>(result.stats.outer_iterations));
+      }
       return result;
     }
-    if (std::getenv("LR_DEBUG_CAUTIOUS") != nullptr) {
-      std::fprintf(stderr, "[cautious]   ban path: dl=%.0f dl&t1=%.0f dl&s1=%.0f span=%.0f\n",
-                   space.count_states(deadlocks),
-                   space.count_states(deadlocks & t1),
-                   space.count_states(deadlocks & s1),
-                   space.count_states(span));
-    }
+    LR_LOG(debug) << "[cautious]   ban path: dl=" << space.count_states(deadlocks)
+                  << " dl&t1=" << space.count_states(deadlocks & t1)
+                  << " dl&s1=" << space.count_states(deadlocks & s1)
+                  << " span=" << space.count_states(span);
     mt |= space.prime(deadlocks) & valid_pair;
     s1 = s1.minus(deadlocks);
     t1 = t1.minus(deadlocks);
+    ++result.stats.deadlock_rounds;
+    const double banned = space.count_states(deadlocks);
+    result.stats.deadlock_states_banned += banned;
+    result.stats.banned_trans_nodes = mt.node_count();
+    support::metrics::registry().set_gauge(
+        "repair.deadlock_states.round" + std::to_string(round), banned);
   }
 
   result.failure_reason = "outer iteration bound exceeded";
-  result.stats.total_seconds = total.seconds();
+  finish();
   return result;
 }
 

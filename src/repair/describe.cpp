@@ -1,6 +1,10 @@
 #include "repair/describe.hpp"
 
+#include <cstdio>
 #include <map>
+
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
 
 namespace lr::repair {
 
@@ -90,6 +94,50 @@ std::vector<std::string> describe_process_program(
     lines.push_back(guard + "  -->  " + update);
   });
   if (truncated) lines.push_back("...");
+  return lines;
+}
+
+std::vector<std::string> describe_stats(const Stats& stats) {
+  std::vector<std::string> lines;
+  const auto line = [&lines](const std::string& name,
+                             const std::string& value) {
+    lines.push_back(name + ": " + value);
+  };
+  const auto count = [](std::uint64_t v) { return std::to_string(v); };
+
+  line("step1 seconds", support::format_duration(stats.step1_seconds));
+  line("step2 seconds", support::format_duration(stats.step2_seconds));
+  line("total seconds", support::format_duration(stats.total_seconds));
+  line("reachable states", support::format_state_count(stats.reachable_states));
+  line("invariant states", support::format_state_count(stats.invariant_states));
+  line("fault-span states", support::format_state_count(stats.span_states));
+  line("outer iterations", count(stats.outer_iterations));
+  line("add-masking rounds", count(stats.addmasking_rounds));
+  line("group iterations", count(stats.group_iterations));
+  line("expand accepts", count(stats.expand_successes));
+  line("expand rejects", count(stats.expand_failures));
+  line("recovery layers", count(stats.recovery_layers));
+  line("deadlock rounds", count(stats.deadlock_rounds));
+  line("deadlock states banned",
+       support::format_state_count(stats.deadlock_states_banned));
+  line("ban relation nodes", count(stats.banned_trans_nodes));
+
+  const bdd::ManagerStats& bdd = stats.bdd;
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f%%",
+                bdd.cache_lookups == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(bdd.cache_hits) /
+                          static_cast<double>(bdd.cache_lookups));
+  line("bdd cache lookups", count(bdd.cache_lookups));
+  line("bdd cache hit rate", rate);
+  line("bdd unique hits", count(bdd.unique_hits));
+  line("bdd created nodes", count(bdd.created_nodes));
+  line("bdd gc runs", count(bdd.gc_runs));
+  line("bdd gc reclaimed", count(bdd.gc_reclaimed));
+  line("bdd reorder runs", count(bdd.reorder_runs));
+  line("bdd live nodes", count(bdd.live_nodes));
+  line("bdd peak nodes", count(bdd.peak_nodes));
   return lines;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "program/distributed_program.hpp"
+#include "repair/types.hpp"
 
 namespace lr::repair {
 
@@ -24,5 +25,12 @@ namespace lr::repair {
     prog::DistributedProgram& program, std::size_t process_index,
     const bdd::Bdd& delta_j, const bdd::Bdd& restrict_to,
     std::size_t max_lines = 48);
+
+/// Renders a run's Stats as "name: value" lines — the paper-table numbers
+/// (step times, state counts, iteration counters) followed by the BDD
+/// engine block (cache hit rate, GC runs, peak/live nodes, reorders) from
+/// the ManagerStats captured at the end of the run. `repair_cli --stats`
+/// prints exactly these lines.
+[[nodiscard]] std::vector<std::string> describe_stats(const Stats& stats);
 
 }  // namespace lr::repair

@@ -1,8 +1,13 @@
 #include "repair/lazy.hpp"
 
+#include <algorithm>
+
 #include "repair/add_masking.hpp"
 #include "repair/realize.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 namespace lr::repair {
 
@@ -17,6 +22,7 @@ namespace {
 void eliminate_livelocks(prog::DistributedProgram& program,
                          const bdd::Bdd& invariant, const bdd::Bdd& span,
                          std::vector<bdd::Bdd>& deltas) {
+  LR_TRACE_SPAN("lazy_repair.eliminate_livelocks");
   sym::Space& space = program.space();
   const bdd::Bdd outside = span.minus(invariant);
   for (std::size_t pass = 0; pass < 2 * deltas.size() + 2; ++pass) {
@@ -54,13 +60,21 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
                          const Options& options) {
   sym::Space& space = program.space();
   support::Stopwatch total;
+  LR_TRACE_SPAN_NAMED(run_span, "lazy_repair");
+
+  RepairResult result;
+  const auto finish = [&result, &space, &total] {
+    result.stats.total_seconds = total.seconds();
+    result.stats.bdd = space.manager().stats();
+    result.stats.peak_bdd_nodes =
+        std::max(result.stats.peak_bdd_nodes, result.stats.bdd.peak_nodes);
+  };
 
   if (options.sift_before_repair) {
     (void)program.program_delta();  // compile everything first
     (void)space.manager().reorder_sifting();
   }
 
-  RepairResult result;
   bdd::Bdd candidate_invariant = program.invariant();
   bdd::Bdd extra_bad_trans = space.bdd_false();
   const bdd::Bdd identity = space.identity();
@@ -70,13 +84,19 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   // restriction for every later round.
   bdd::Bdd context;
   if (options.restrict_to_reachable) {
+    LR_TRACE_SPAN_NAMED(ctx_span, "lazy_repair.context_reach");
     context =
         space.forward_reachable(program.transition_partitions(), candidate_invariant);
+    if (support::trace::enabled()) {
+      ctx_span.attr("states", space.count_states(context));
+    }
   }
   const std::vector<bdd::Bdd>& fault_parts = program.fault_action_deltas();
 
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
     ++result.stats.outer_iterations;
+    LR_TRACE_SPAN_NAMED(round_span, "lazy_repair.round");
+    round_span.attr("round", static_cast<std::uint64_t>(round));
 
     // Step 1: Add-Masking without realizability constraints.
     support::Stopwatch sw1;
@@ -86,7 +106,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     result.stats.step1_seconds += sw1.seconds();
     if (!step1.success) {
       result.failure_reason = "Add-Masking found no fault-tolerant program";
-      result.stats.total_seconds = total.seconds();
+      finish();
       return result;
     }
 
@@ -95,6 +115,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     // (every realizable sub-program stays within it), then drop group-wise
     // whatever would livelock.
     support::Stopwatch sw2;
+    LR_TRACE_SPAN_NAMED(step2_span, "lazy_repair.step2");
     std::vector<bdd::Bdd> step1_parts{step1.delta};
     step1_parts.insert(step1_parts.end(), fault_parts.begin(),
                        fault_parts.end());
@@ -123,6 +144,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     // are banned too, which is exactly the paper's Line 11.
     bdd::Bdd realized = step1.delta & identity;
     for (const bdd::Bdd& dj : deltas) realized |= dj;
+    LR_TRACE_SPAN_NAMED(dl_span, "lazy_repair.deadlock_check");
     bdd::Bdd deadlocks;
     if (options.level == ToleranceLevel::kFailsafe) {
       // Failsafe: only the invariant owes progress; stopping after a fault
@@ -151,7 +173,13 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
       result.process_deltas = std::move(deltas);
       result.stats.span_states = space.count_states(realized_span);
       result.stats.invariant_states = space.count_states(step1.invariant);
-      result.stats.total_seconds = total.seconds();
+      finish();
+      if (support::trace::enabled()) {
+        run_span.attr("invariant_states", result.stats.invariant_states);
+        run_span.attr("span_states", result.stats.span_states);
+        run_span.attr("outer_iterations",
+                      static_cast<std::uint64_t>(result.stats.outer_iterations));
+      }
       return result;
     }
 
@@ -160,10 +188,19 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     // deadlock forever.
     extra_bad_trans |= space.prime(deadlocks) & valid_pair;
     candidate_invariant = step1.invariant.minus(deadlocks);
+    ++result.stats.deadlock_rounds;
+    const double banned = space.count_states(deadlocks);
+    result.stats.deadlock_states_banned += banned;
+    result.stats.banned_trans_nodes = extra_bad_trans.node_count();
+    support::metrics::registry().set_gauge(
+        "repair.deadlock_states.round" + std::to_string(round), banned);
+    LR_LOG(debug) << "[lazy] round=" << round << " banned " << banned
+                  << " deadlock states (ban relation "
+                  << result.stats.banned_trans_nodes << " nodes)";
   }
 
   result.failure_reason = "outer iteration bound exceeded";
-  result.stats.total_seconds = total.seconds();
+  finish();
   return result;
 }
 

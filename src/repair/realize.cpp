@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "support/trace.hpp"
+
 namespace lr::repair {
 
 std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
                               const bdd::Bdd& delta, const bdd::Bdd& tolerance,
                               const Options& options, Stats& stats) {
+  LR_TRACE_SPAN_NAMED(span, "realize");
   sym::Space& space = program.space();
   bdd::Manager& mgr = space.manager();
 
@@ -28,6 +31,8 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
   result.reserve(program.process_count());
 
   for (std::size_t j = 0; j < program.process_count(); ++j) {
+    LR_TRACE_SPAN_NAMED(proc_span, "realize.process");
+    proc_span.attr("process", static_cast<std::uint64_t>(j));
     // Line 5: drop transitions that write outside W_j.
     bdd::Bdd delta_j_pool = proper & program.respects_write(j);
     bdd::Bdd accepted = space.bdd_false();
@@ -73,6 +78,8 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
             if (widened.leq(delta_j_pool)) {
               group = widened;
               ++stats.expand_successes;
+            } else {
+              ++stats.expand_failures;
             }
           }
         }
@@ -82,10 +89,22 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
         worklist = worklist.minus(group);
       }
     }
+    if (support::trace::enabled()) {
+      proc_span.attr("delta_nodes",
+                     static_cast<std::uint64_t>(accepted.node_count()));
+    }
     result.push_back(std::move(accepted));
   }
   stats.peak_bdd_nodes =
       std::max(stats.peak_bdd_nodes, mgr.stats().peak_nodes);
+  if (support::trace::enabled()) {
+    span.attr("group_iterations",
+              static_cast<std::uint64_t>(stats.group_iterations));
+    span.attr("expand_accepts",
+              static_cast<std::uint64_t>(stats.expand_successes));
+    span.attr("expand_rejects",
+              static_cast<std::uint64_t>(stats.expand_failures));
+  }
   return result;
 }
 

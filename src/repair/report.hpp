@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "repair/types.hpp"
+
+namespace lr::repair {
+
+/// Mirrors a finished run's Stats (including the embedded BDD engine
+/// counters) into the process-wide metrics registry under the "repair." and
+/// "bdd." prefixes. An optional dotted prefix ("bench.Sc^20.lazy") scopes
+/// the keys so multiple runs can land in one report.
+void record_run_metrics(const Stats& stats, const std::string& prefix = "");
+
+/// Writes the metrics registry as a JSON run report; false when the file
+/// cannot be opened. (Thin wrapper over metrics::write_json_file, so repair
+/// front ends need only this header.)
+bool write_metrics_report(const std::string& path);
+
+}  // namespace lr::repair

@@ -73,12 +73,24 @@ struct Stats {
   std::size_t addmasking_rounds = 0;      ///< Step-1 outer fixpoint rounds
   std::size_t group_iterations = 0;       ///< Algorithm 2 loop iterations
   std::size_t expand_successes = 0;       ///< accepted ExpandGroup enlargements
+  std::size_t expand_failures = 0;        ///< rejected ExpandGroup enlargements
   std::size_t recovery_layers = 0;        ///< BFS layers of the fault span
 
   double reachable_states = -1.0;  ///< |Reach(S, δ_P ∪ f)| (table column 1)
   double span_states = -1.0;       ///< |T'| of the result
   double invariant_states = -1.0;  ///< |S'| of the result
   std::size_t peak_bdd_nodes = 0;  ///< engine high-water mark
+
+  /// Deadlock-elimination history across Algorithm 1's outer iterations:
+  /// how many rounds had to ban states, how many states they banned in
+  /// total, and the BDD size of the accumulated banned-transition relation.
+  std::size_t deadlock_rounds = 0;
+  double deadlock_states_banned = 0.0;
+  std::size_t banned_trans_nodes = 0;
+
+  /// BDD engine counters captured when the algorithm returned (cache
+  /// hit/miss, GC activity, node populations — see bdd::ManagerStats).
+  bdd::ManagerStats bdd;
 };
 
 /// Result of Step 1 (Add-Masking without realizability constraints).

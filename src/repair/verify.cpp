@@ -1,10 +1,13 @@
 #include "repair/verify.hpp"
 
+#include "support/trace.hpp"
+
 namespace lr::repair {
 
 VerifyReport verify_masking(prog::DistributedProgram& program,
                             const RepairResult& result,
                             ToleranceLevel level) {
+  LR_TRACE_SPAN("verify_masking");
   VerifyReport report;
   sym::Space& space = program.space();
   bdd::Manager& mgr = space.manager();

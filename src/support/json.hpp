@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lr::support {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX sequences.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// A parsed JSON value. The observability layer *writes* JSON by hand (the
+/// documents are flat and the writer must not allocate surprising amounts);
+/// this reader exists so tests — and future tooling that ingests run
+/// reports — can validate and inspect those documents without an external
+/// dependency.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object members (duplicate keys keep the last).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document. Returns nullopt on any syntax error or
+/// trailing garbage (strict: the whole input must be one value plus
+/// whitespace).
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace lr::support

@@ -1,0 +1,75 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lr::support {
+
+namespace {
+
+// The engine is single-threaded by design (one Manager per thread, see
+// bdd.hpp); the logger shares that contract, so plain globals suffice.
+LogLevel g_level = LogLevel::warn;
+bool g_env_checked = false;
+std::ostream* g_stream = nullptr;
+
+}  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::trace;
+  if (name == "debug") return LogLevel::debug;
+  if (name == "info") return LogLevel::info;
+  if (name == "warn" || name == "warning") return LogLevel::warn;
+  if (name == "error") return LogLevel::error;
+  if (name == "off" || name == "none") return LogLevel::off;
+  return std::nullopt;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "trace";
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level = level;
+  g_env_checked = true;  // an explicit choice beats the environment
+}
+
+void init_log_from_env() {
+  g_env_checked = true;
+  const char* env = std::getenv("LR_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (const auto parsed = parse_log_level(env)) g_level = *parsed;
+}
+
+bool log_enabled(LogLevel level) {
+  if (!g_env_checked) init_log_from_env();
+  return level >= g_level && g_level != LogLevel::off;
+}
+
+void set_log_stream(std::ostream* stream) noexcept { g_stream = stream; }
+
+LogMessage::LogMessage(LogLevel level) : level_(level) {}
+
+LogMessage::~LogMessage() {
+  const std::string text = stream_.str();
+  if (g_stream != nullptr) {
+    *g_stream << '[' << log_level_name(level_) << "] " << text << '\n';
+    g_stream->flush();
+  } else {
+    std::fprintf(stderr, "[%.*s] %s\n",
+                 static_cast<int>(log_level_name(level_).size()),
+                 log_level_name(level_).data(), text.c_str());
+  }
+}
+
+}  // namespace lr::support

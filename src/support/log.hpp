@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lr::support {
+
+/// Severity levels of the structured logger, least to most severe. `off`
+/// disables everything. The default is `warn`, so a run with no `--log-level`
+/// and no `LR_LOG_LEVEL` prints nothing beyond what the seed code printed.
+enum class LogLevel { trace, debug, info, warn, error, off };
+
+/// Parses a level name ("trace", "debug", "info", "warn"/"warning",
+/// "error", "off"/"none"); nullopt when unknown.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Canonical name of a level ("trace" .. "error", "off").
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+
+/// Current threshold: messages below it are discarded before any of their
+/// arguments are formatted (the LR_LOG macro short-circuits).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Applies the LR_LOG_LEVEL environment variable, if set and parsable.
+/// Called lazily by the first LR_LOG; call it again after changing the
+/// environment (tests) or call set_log_level to override explicitly.
+void init_log_from_env();
+
+/// True when a message at `level` would be emitted. Forces the lazy env
+/// initialization, so it is the single gate the LR_LOG macro needs.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Redirects log output (nullptr restores the default, stderr). The sink
+/// receives whole lines; tests point this at a stringstream.
+void set_log_stream(std::ostream* stream) noexcept;
+
+/// One log statement: collects the streamed message and emits it as a
+/// single "[level] message\n" line on destruction. Construct only via
+/// LR_LOG — the macro performs the level check first.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  [[nodiscard]] std::ostream& stream() noexcept { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lr::support
+
+/// Leveled logging: `LR_LOG(debug) << "round=" << round;`. The argument is
+/// a bare level name (trace/debug/info/warn/error). When the level is
+/// disabled the operands are never evaluated. The for-statement makes the
+/// macro a single statement safe inside unbraced if/else.
+#define LR_LOG(level)                                                     \
+  for (bool lr_log_emit_ =                                                \
+           ::lr::support::log_enabled(::lr::support::LogLevel::level);    \
+       lr_log_emit_; lr_log_emit_ = false)                                \
+  ::lr::support::LogMessage(::lr::support::LogLevel::level).stream()

@@ -1,0 +1,86 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace lr::support::metrics {
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  counters_[std::string(name)] += delta;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  gauges_[std::string(name)] = value;
+}
+
+void Registry::max_gauge(std::string_view name, double value) {
+  double& slot = gauges_[std::string(name)];
+  slot = std::max(slot, value);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool Registry::has_counter(std::string_view name) const {
+  return counters_.count(std::string(name)) != 0;
+}
+
+bool Registry::has_gauge(std::string_view name) const {
+  return gauges_.count(std::string(name)) != 0;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    std::ostringstream num;
+    num.precision(17);  // round-trippable doubles
+    num << value;
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << num.str();
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+bool write_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  registry().write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lr::support::metrics

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace lr::support::metrics {
+
+/// A process-wide registry of named counters (monotone integers) and gauges
+/// (last-written doubles), snapshotted into the JSON run report.
+///
+/// Names are dotted paths ("bdd.cache_hits", "repair.step1_seconds"); the
+/// report keeps them flat. The registry is always on — an add() is a map
+/// lookup plus an increment, cheap enough for the engine's per-phase
+/// granularity. Per-operation costs (BDD cache hits and friends) stay in
+/// `bdd::ManagerStats` and are mirrored here once per run.
+class Registry {
+ public:
+  /// Adds `delta` to a counter, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets a gauge to `value`, creating it on first write.
+  void set_gauge(std::string_view name, double value);
+
+  /// Keeps the larger of the current and `value` (high-water gauges).
+  void max_gauge(std::string_view name, double value);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] bool has_counter(std::string_view name) const;
+  [[nodiscard]] bool has_gauge(std::string_view name) const;
+
+  void clear();
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{counters_, gauges_}; }
+
+  /// Serializes the registry as {"counters": {...}, "gauges": {...}} with
+  /// keys in sorted order. This is the JSON run-report payload.
+  [[nodiscard]] std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// The process-wide registry used by the engine's instrumentation.
+[[nodiscard]] Registry& registry();
+
+/// Writes registry().to_json() to a file; false when it cannot be opened.
+bool write_json_file(const std::string& path);
+
+}  // namespace lr::support::metrics

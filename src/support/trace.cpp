@@ -1,0 +1,138 @@
+#include "support/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace lr::support::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A span being measured: attributes accumulate here until the Span closes.
+struct OpenSpan {
+  const char* name = nullptr;
+  Clock::time_point start;
+  /// (key, pre-rendered JSON value) pairs.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// A finished span, ready for rendering.
+struct Event {
+  const char* name = nullptr;
+  double ts_us = 0.0;   ///< start, microseconds since trace start
+  double dur_us = 0.0;  ///< duration in microseconds
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+Clock::time_point g_epoch;
+std::vector<OpenSpan> g_open;   // stack of live spans
+std::vector<Event> g_events;    // completed spans
+
+double micros_since_epoch(Clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - g_epoch).count();
+}
+
+void add_arg(std::uint32_t index, std::string_view key, std::string value) {
+  if (index < g_open.size()) {
+    g_open[index].args.emplace_back(std::string(key), std::move(value));
+  }
+}
+
+}  // namespace
+
+void start() {
+  g_open.clear();
+  g_events.clear();
+  g_epoch = Clock::now();
+  detail::g_enabled = true;
+}
+
+void stop() { detail::g_enabled = false; }
+
+std::size_t event_count() { return g_events.size(); }
+
+void Span::begin(const char* name) {
+  active_ = true;
+  index_ = static_cast<std::uint32_t>(g_open.size());
+  g_open.push_back(OpenSpan{name, Clock::now(), {}});
+}
+
+void Span::end() {
+  active_ = false;
+  // Tracing may have stopped (or restarted) while this span was open; only
+  // record spans whose slot is still theirs.
+  if (index_ >= g_open.size() || g_open.size() != index_ + 1) {
+    if (index_ < g_open.size()) g_open.resize(index_);
+    return;
+  }
+  OpenSpan open = std::move(g_open.back());
+  g_open.pop_back();
+  const auto now = Clock::now();
+  Event event;
+  event.name = open.name;
+  event.ts_us = micros_since_epoch(open.start);
+  event.dur_us = std::chrono::duration<double, std::micro>(now - open.start)
+                     .count();
+  event.args = std::move(open.args);
+  g_events.push_back(std::move(event));
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (!active_) return;
+  std::ostringstream os;
+  os << value;
+  add_arg(index_, key, os.str());
+}
+
+void Span::attr(std::string_view key, std::uint64_t value) {
+  if (!active_) return;
+  add_arg(index_, key, std::to_string(value));
+}
+
+void Span::attr(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  add_arg(index_, key, "\"" + json_escape(value) + "\"");
+}
+
+void write_chrome_json(std::ostream& out) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : g_events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":\"" << json_escape(event.name)
+        << "\",\"cat\":\"lazyrepair\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+        << "\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us;
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\"" << json_escape(event.args[i].first)
+            << "\":" << event.args[i].second;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string to_chrome_json() {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+bool write_chrome_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace lr::support::trace

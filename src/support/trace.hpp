@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace lr::support::trace {
+
+namespace detail {
+/// Global collection switch. Inline so the Span constructor compiles to a
+/// load-and-branch when tracing is off; plain bool because the engine is
+/// single-threaded by design (see bdd.hpp).
+inline bool g_enabled = false;
+}  // namespace detail
+
+/// True while a trace is being collected. Use this to guard attribute
+/// computations that are themselves expensive (state counts, node counts):
+///   if (trace::enabled()) span.attr("states", space.count_states(s));
+[[nodiscard]] inline bool enabled() noexcept { return detail::g_enabled; }
+
+/// Starts collecting spans (clears any previous buffer). Nesting comes from
+/// span lifetimes; timestamps are microseconds since this call.
+void start();
+
+/// Stops collecting. Buffered events stay available for rendering.
+void stop();
+
+/// Number of completed spans in the buffer.
+[[nodiscard]] std::size_t event_count();
+
+/// Renders the buffered spans as a Chrome trace-event JSON document (the
+/// "traceEvents" array format), loadable in chrome://tracing and Perfetto.
+/// Each span becomes one complete ("ph":"X") event; attributes become the
+/// event's "args".
+[[nodiscard]] std::string to_chrome_json();
+void write_chrome_json(std::ostream& out);
+
+/// Writes to_chrome_json() to a file; false (with the buffer intact) when
+/// the file cannot be opened.
+bool write_chrome_json_file(const std::string& path);
+
+/// RAII span: measures from construction to destruction. When tracing is
+/// disabled the constructor is a single branch and every other member is a
+/// no-op. Spans must be destroyed in LIFO order (automatic storage).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (detail::g_enabled) begin(name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span now instead of at destruction (for sequential phases
+  /// sharing one scope). Must still respect LIFO order: close before any
+  /// span opened after this one is created. Idempotent.
+  void close() {
+    if (active_) end();
+  }
+
+  /// Attaches a key/value pair to this span (rendered into "args").
+  void attr(std::string_view key, double value);
+  void attr(std::string_view key, std::uint64_t value);
+  void attr(std::string_view key, std::string_view value);
+
+ private:
+  void begin(const char* name);
+  void end();
+
+  bool active_ = false;
+  std::uint32_t index_ = 0;  ///< slot in the tracer's open-span stack
+};
+
+}  // namespace lr::support::trace
+
+#define LR_TRACE_CONCAT_INNER(a, b) a##b
+#define LR_TRACE_CONCAT(a, b) LR_TRACE_CONCAT_INNER(a, b)
+
+/// Opens an anonymous span covering the rest of the enclosing scope:
+///   LR_TRACE_SPAN("add_masking.fixpoint");
+#define LR_TRACE_SPAN(name) \
+  ::lr::support::trace::Span LR_TRACE_CONCAT(lr_trace_span_, __LINE__)(name)
+
+/// Opens a named span so attributes can be attached:
+///   LR_TRACE_SPAN_NAMED(span, "realize"); span.attr("process", j);
+#define LR_TRACE_SPAN_NAMED(var, name) ::lr::support::trace::Span var(name)

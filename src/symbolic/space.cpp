@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "support/trace.hpp"
+
 namespace lr::sym {
 
 namespace {
@@ -226,17 +228,27 @@ bdd::Bdd Space::preimage(const bdd::Bdd& rel, const bdd::Bdd& to) {
 }
 
 bdd::Bdd Space::forward_reachable(const bdd::Bdd& rel, const bdd::Bdd& from) {
+  LR_TRACE_SPAN_NAMED(span, "space.forward_reachable");
+  std::uint64_t iterations = 0;
   bdd::Bdd reached = from;
   bdd::Bdd frontier = from;
   while (!frontier.is_false()) {
     frontier = image(rel, frontier).minus(reached);
     reached |= frontier;
+    ++iterations;
+  }
+  if (support::trace::enabled()) {
+    span.attr("iterations", iterations);
+    span.attr("result_nodes",
+              static_cast<std::uint64_t>(reached.node_count()));
   }
   return reached;
 }
 
 bdd::Bdd Space::forward_reachable(std::span<const bdd::Bdd> rels,
                                   const bdd::Bdd& from) {
+  LR_TRACE_SPAN_NAMED(span, "space.forward_reachable_partitioned");
+  std::uint64_t images = 0;
   bdd::Bdd reached = from;
   bool changed = true;
   while (changed) {
@@ -245,21 +257,36 @@ bdd::Bdd Space::forward_reachable(std::span<const bdd::Bdd> rels,
       // Saturate this partition before moving to the next.
       while (true) {
         const bdd::Bdd fresh = image(rel, reached).minus(reached);
+        ++images;
         if (fresh.is_false()) break;
         reached |= fresh;
         changed = true;
       }
     }
   }
+  if (support::trace::enabled()) {
+    span.attr("partitions", static_cast<std::uint64_t>(rels.size()));
+    span.attr("image_steps", images);
+    span.attr("result_nodes",
+              static_cast<std::uint64_t>(reached.node_count()));
+  }
   return reached;
 }
 
 bdd::Bdd Space::backward_reachable(const bdd::Bdd& rel, const bdd::Bdd& to) {
+  LR_TRACE_SPAN_NAMED(span, "space.backward_reachable");
+  std::uint64_t iterations = 0;
   bdd::Bdd reached = to;
   bdd::Bdd frontier = to;
   while (!frontier.is_false()) {
     frontier = preimage(rel, frontier).minus(reached);
     reached |= frontier;
+    ++iterations;
+  }
+  if (support::trace::enabled()) {
+    span.attr("iterations", iterations);
+    span.attr("result_nodes",
+              static_cast<std::uint64_t>(reached.node_count()));
   }
   return reached;
 }

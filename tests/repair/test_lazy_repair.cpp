@@ -6,7 +6,11 @@
 #include "casestudies/byzantine.hpp"
 #include "casestudies/chain.hpp"
 #include "repair/lazy.hpp"
+#include "repair/report.hpp"
 #include "repair/verify.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace lr::repair {
 namespace {
@@ -46,6 +50,58 @@ TEST(LazyRepairTest, ByzantineWithFailStop) {
   auto program = cs::make_byzantine({.non_generals = 3, .fail_stop = true});
   const RepairResult result = lazy_repair(*program);
   expect_verified(*program, result);
+}
+
+// Observability integration: a traced repair run emits the expected nested
+// span taxonomy and a parseable metrics report with the headline numbers.
+TEST(LazyRepairTest, RunEmitsSpansAndMetrics) {
+  support::trace::start();
+  auto program = cs::make_chain({.length = 3, .domain = 2});
+  const RepairResult result = lazy_repair(*program);
+  support::trace::stop();
+  ASSERT_TRUE(result.success) << result.failure_reason;
+
+  const auto trace_doc = support::json_parse(support::trace::to_chrome_json());
+  ASSERT_TRUE(trace_doc.has_value());
+  const support::JsonValue* events = trace_doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const auto span_duration = [&events](std::string_view name) {
+    for (const support::JsonValue& event : events->array) {
+      const support::JsonValue* n = event.find("name");
+      if (n != nullptr && n->string == name) return event.find("dur")->number;
+    }
+    return -1.0;
+  };
+  // Step 1 and Step 2 both ran and took measurable (non-negative) time,
+  // nested inside the top-level lazy_repair span.
+  EXPECT_GE(span_duration("add_masking"), 0.0);
+  EXPECT_GE(span_duration("realize"), 0.0);
+  EXPECT_GE(span_duration("lazy_repair"), span_duration("add_masking"));
+  EXPECT_GE(span_duration("lazy_repair"), span_duration("realize"));
+
+  support::metrics::registry().clear();
+  record_run_metrics(result.stats);
+  const auto metrics_doc =
+      support::json_parse(support::metrics::registry().to_json());
+  ASSERT_TRUE(metrics_doc.has_value());
+  const support::JsonValue* gauges = metrics_doc->find("gauges");
+  const support::JsonValue* counters = metrics_doc->find("counters");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(counters, nullptr);
+  for (const char* key :
+       {"repair.step1_seconds", "repair.step2_seconds", "repair.total_seconds",
+        "repair.reachable_states", "repair.invariant_states",
+        "bdd.cache_hit_rate"}) {
+    EXPECT_NE(gauges->find(key), nullptr) << key;
+  }
+  for (const char* key : {"repair.outer_iterations", "bdd.cache_lookups",
+                          "bdd.cache_hits", "bdd.created_nodes"}) {
+    EXPECT_NE(counters->find(key), nullptr) << key;
+  }
+  EXPECT_GE(gauges->find("repair.invariant_states")->number, 1.0);
+  EXPECT_GE(counters->find("repair.outer_iterations")->number, 1.0);
 }
 
 }  // namespace

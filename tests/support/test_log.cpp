@@ -1,0 +1,122 @@
+// Tests for the leveled logger: threshold filtering, LR_LOG_LEVEL env
+// override, sink redirection, and lazy-evaluation of disabled statements.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace lr::support {
+namespace {
+
+/// Captures log output in a stringstream and restores defaults on exit.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_stream(&sink_);
+    set_log_level(LogLevel::warn);
+  }
+  void TearDown() override {
+    set_log_stream(nullptr);
+    set_log_level(LogLevel::warn);
+    unsetenv("LR_LOG_LEVEL");
+  }
+
+  std::string drain() {
+    std::string text = sink_.str();
+    sink_.str("");
+    return text;
+  }
+
+  std::ostringstream sink_;
+};
+
+TEST_F(LogTest, ParseLogLevelAcceptsNamesAndAliases) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::trace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::off);
+  EXPECT_FALSE(parse_log_level("loud").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST_F(LogTest, DefaultThresholdSuppressesDebugAndInfo) {
+  LR_LOG(trace) << "t";
+  LR_LOG(debug) << "d";
+  LR_LOG(info) << "i";
+  EXPECT_EQ(drain(), "");
+  LR_LOG(warn) << "w";
+  LR_LOG(error) << "e";
+  EXPECT_EQ(drain(), "[warn] w\n[error] e\n");
+}
+
+TEST_F(LogTest, LoweringThresholdEnablesFinerLevels) {
+  set_log_level(LogLevel::debug);
+  LR_LOG(trace) << "t";
+  LR_LOG(debug) << "d";
+  EXPECT_EQ(drain(), "[debug] d\n");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::off);
+  LR_LOG(error) << "e";
+  EXPECT_EQ(drain(), "");
+  EXPECT_FALSE(log_enabled(LogLevel::error));
+}
+
+TEST_F(LogTest, DisabledStatementDoesNotEvaluateOperands) {
+  set_log_level(LogLevel::warn);
+  int evaluations = 0;
+  const auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  LR_LOG(debug) << touch();
+  EXPECT_EQ(evaluations, 0);
+  LR_LOG(error) << touch();
+  EXPECT_EQ(evaluations, 1);
+  drain();
+}
+
+TEST_F(LogTest, EnvVariableSetsInitialLevel) {
+  setenv("LR_LOG_LEVEL", "info", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::info);
+  LR_LOG(info) << "from env";
+  EXPECT_EQ(drain(), "[info] from env\n");
+}
+
+TEST_F(LogTest, ExplicitLevelBeatsEnvironment) {
+  setenv("LR_LOG_LEVEL", "trace", 1);
+  set_log_level(LogLevel::error);  // explicit --log-level wins
+  EXPECT_EQ(log_level(), LogLevel::error);
+  EXPECT_FALSE(log_enabled(LogLevel::debug));
+}
+
+TEST_F(LogTest, UnparsableEnvValueIsIgnored) {
+  setenv("LR_LOG_LEVEL", "blurt", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::warn);
+}
+
+TEST_F(LogTest, MessagesStreamFormattedValues) {
+  set_log_level(LogLevel::info);
+  LR_LOG(info) << "round=" << 3 << " states=" << 2.5;
+  EXPECT_EQ(drain(), "[info] round=3 states=2.5\n");
+}
+
+TEST_F(LogTest, LogLevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::trace, LogLevel::debug, LogLevel::info,
+                         LogLevel::warn, LogLevel::error, LogLevel::off}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+}
+
+}  // namespace
+}  // namespace lr::support

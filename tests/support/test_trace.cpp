@@ -1,0 +1,164 @@
+// Tests for the tracing span API: nesting/ordering of spans, attribute
+// rendering, and validity of the Chrome trace-event JSON output.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "support/json.hpp"
+#include "support/trace.hpp"
+
+namespace lr::support::trace {
+namespace {
+
+/// Finds the first event named `name` in a parsed trace document.
+const JsonValue* find_event(const JsonValue& doc, std::string_view name) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return nullptr;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* n = event.find("name");
+    if (n != nullptr && n->string == name) return &event;
+  }
+  return nullptr;
+}
+
+TEST(TraceTest, DisabledCollectsNothing) {
+  stop();
+  {
+    LR_TRACE_SPAN("never.recorded");
+  }
+  start();
+  stop();  // start clears the buffer; nothing ran in between
+  EXPECT_EQ(event_count(), 0u);
+  {
+    LR_TRACE_SPAN("after.stop");  // disabled again: also not recorded
+  }
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST(TraceTest, RecordsNestedSpansInLifoOrder) {
+  start();
+  {
+    LR_TRACE_SPAN_NAMED(outer, "outer");
+    {
+      LR_TRACE_SPAN("inner.a");
+    }
+    {
+      LR_TRACE_SPAN("inner.b");
+    }
+  }
+  stop();
+  ASSERT_EQ(event_count(), 3u);
+
+  const auto doc = json_parse(to_chrome_json());
+  ASSERT_TRUE(doc.has_value()) << to_chrome_json();
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Children complete before their parent, so the parent is last.
+  EXPECT_EQ(events->array[0].find("name")->string, "inner.a");
+  EXPECT_EQ(events->array[1].find("name")->string, "inner.b");
+  EXPECT_EQ(events->array[2].find("name")->string, "outer");
+}
+
+TEST(TraceTest, NestingIsContainedInParentInterval) {
+  start();
+  {
+    LR_TRACE_SPAN("parent");
+    {
+      LR_TRACE_SPAN("child");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop();
+  const auto doc = json_parse(to_chrome_json());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* parent = find_event(*doc, "parent");
+  const JsonValue* child = find_event(*doc, "child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  const double p_ts = parent->find("ts")->number;
+  const double p_dur = parent->find("dur")->number;
+  const double c_ts = child->find("ts")->number;
+  const double c_dur = child->find("dur")->number;
+  EXPECT_GE(c_ts, p_ts);
+  EXPECT_LE(c_ts + c_dur, p_ts + p_dur + 1e-6);
+  EXPECT_GE(c_dur, 1000.0);  // slept >= 1ms = 1000us
+}
+
+TEST(TraceTest, AttributesBecomeArgs) {
+  start();
+  {
+    LR_TRACE_SPAN_NAMED(span, "with.args");
+    span.attr("count", std::uint64_t{42});
+    span.attr("states", 1.5e9);
+    span.attr("label", std::string_view("hello \"world\""));
+  }
+  stop();
+  const auto doc = json_parse(to_chrome_json());
+  ASSERT_TRUE(doc.has_value()) << to_chrome_json();
+  const JsonValue* event = find_event(*doc, "with.args");
+  ASSERT_NE(event, nullptr);
+  const JsonValue* args = event->find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_TRUE(args->is_object());
+  EXPECT_EQ(args->find("count")->number, 42.0);
+  EXPECT_EQ(args->find("states")->number, 1.5e9);
+  EXPECT_EQ(args->find("label")->string, "hello \"world\"");
+}
+
+TEST(TraceTest, ChromeEnvelopeFields) {
+  start();
+  {
+    LR_TRACE_SPAN("one");
+  }
+  stop();
+  const auto doc = json_parse(to_chrome_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* event = find_event(*doc, "one");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->find("ph")->string, "X");
+  EXPECT_TRUE(event->find("ts")->is_number());
+  EXPECT_TRUE(event->find("dur")->is_number());
+  EXPECT_TRUE(event->find("pid")->is_number());
+  EXPECT_TRUE(event->find("tid")->is_number());
+}
+
+TEST(TraceTest, CloseEndsSpanEarly) {
+  start();
+  {
+    LR_TRACE_SPAN_NAMED(phase1, "phase1");
+    phase1.close();
+    LR_TRACE_SPAN_NAMED(phase2, "phase2");
+    phase2.close();
+    phase1.close();  // idempotent
+  }
+  stop();
+  ASSERT_EQ(event_count(), 2u);
+  const auto doc = json_parse(to_chrome_json());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* p1 = find_event(*doc, "phase1");
+  const JsonValue* p2 = find_event(*doc, "phase2");
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  // Sequential, not nested: phase2 starts at or after phase1's end.
+  EXPECT_GE(p2->find("ts")->number,
+            p1->find("ts")->number + p1->find("dur")->number - 1e-6);
+}
+
+TEST(TraceTest, StartClearsPreviousBuffer) {
+  start();
+  {
+    LR_TRACE_SPAN("first.run");
+  }
+  stop();
+  EXPECT_EQ(event_count(), 1u);
+  start();
+  stop();
+  EXPECT_EQ(event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lr::support::trace
