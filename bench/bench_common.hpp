@@ -12,11 +12,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "repair/batch.hpp"
 #include "repair/report.hpp"
 #include "repair/types.hpp"
 #include "support/metrics.hpp"
@@ -90,6 +92,33 @@ inline std::string extract_flag(int* argc, char** argv, const char* key) {
   return value;
 }
 
+/// Batch path: runs the whole spec list as one repair::run_batch call
+/// (`--batch-jobs=N` concurrent repairs, one BDD manager each) and prints
+/// the same paper-style table from the batch report. Returns the process
+/// exit code.
+inline int run_batch_sweep(const std::string& title,
+                           const std::vector<repair::BatchTask>& tasks,
+                           std::size_t jobs) {
+  repair::BatchOptions options;
+  options.jobs = jobs;
+  options.metrics_prefix = "bench";
+  const repair::BatchReport report = repair::run_batch(tasks, options);
+  for (const repair::BatchItemResult& item : report.items) {
+    rows().push_back(Row{item.name, item.algorithm,
+                         item.stats.reachable_states,
+                         item.stats.step1_seconds, item.stats.step2_seconds,
+                         item.seconds, item.stats.invariant_states,
+                         item.ok()});
+  }
+  print_table(title);
+  std::cout << "\nbatch sweep: " << report.ok_count() << "/"
+            << report.items.size() << " ok, wall "
+            << support::format_duration(report.wall_seconds)
+            << " (jobs=" << report.jobs << ")\n";
+  support::metrics::registry().add("bench.runs", tasks.size());
+  return report.failed_count() == 0 ? 0 : 1;
+}
+
 /// Writes the observability artifacts requested on the command line.
 inline void write_reports(const std::string& trace_path,
                           const std::string& metrics_path) {
@@ -122,4 +151,32 @@ inline void write_reports(const std::string& trace_path,
     ::lr::bench::print_table(TITLE);                                      \
     ::lr::bench::write_reports(lr_trace_path, lr_metrics_path);           \
     return 0;                                                             \
+  }
+
+/// Like LR_BENCH_MAIN, but the binary also understands --batch-jobs=N:
+/// when given, the google-benchmark path is skipped and SPECS_FN()'s task
+/// list runs concurrently through the batch executor instead.
+#define LR_BENCH_MAIN_WITH_BATCH(TITLE, SPECS_FN)                         \
+  int main(int argc, char** argv) {                                       \
+    const std::string lr_metrics_path =                                   \
+        ::lr::bench::extract_flag(&argc, argv, "--metrics-json");         \
+    const std::string lr_trace_path =                                     \
+        ::lr::bench::extract_flag(&argc, argv, "--trace-out");            \
+    const std::string lr_batch_jobs =                                     \
+        ::lr::bench::extract_flag(&argc, argv, "--batch-jobs");           \
+    if (!lr_trace_path.empty()) ::lr::support::trace::start();            \
+    int lr_exit = 0;                                                      \
+    if (!lr_batch_jobs.empty()) {                                         \
+      const long jobs = std::strtol(lr_batch_jobs.c_str(), nullptr, 10);  \
+      lr_exit = ::lr::bench::run_batch_sweep(                             \
+          TITLE, SPECS_FN(), jobs < 1 ? 1 : static_cast<std::size_t>(jobs)); \
+    } else {                                                              \
+      ::benchmark::Initialize(&argc, argv);                               \
+      if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+      ::benchmark::RunSpecifiedBenchmarks();                              \
+      ::benchmark::Shutdown();                                            \
+      ::lr::bench::print_table(TITLE);                                    \
+    }                                                                     \
+    ::lr::bench::write_reports(lr_trace_path, lr_metrics_path);           \
+    return lr_exit;                                                       \
   }

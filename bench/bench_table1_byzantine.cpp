@@ -7,11 +7,15 @@
 //  * the vectorized one-shot closure (GroupMethod::kOneShot), which shows
 //    how much of the gap survives a modern symbolic implementation.
 
+// `--batch-jobs=N` runs the same sweep (see table_specs.hpp) concurrently
+// through the batch executor instead of google-benchmark.
+
 #include "bench_common.hpp"
 #include "casestudies/byzantine.hpp"
 #include "repair/cautious.hpp"
 #include "repair/lazy.hpp"
 #include "support/stopwatch.hpp"
+#include "table_specs.hpp"
 
 namespace {
 
@@ -94,4 +98,6 @@ BENCHMARK(BM_Cautious_OneShot)
 
 }  // namespace
 
-LR_BENCH_MAIN("Table I — Byzantine agreement: cautious vs. lazy repair")
+LR_BENCH_MAIN_WITH_BATCH(
+    "Table I — Byzantine agreement: cautious vs. lazy repair",
+    ::lr::bench::table1_tasks)

@@ -4,11 +4,15 @@
 // than that of the lazy repair approach. Hence, we present the results for
 // the lazy repair approach only").
 
+// `--batch-jobs=N` runs the same sweep (see table_specs.hpp) concurrently
+// through the batch executor instead of google-benchmark.
+
 #include "bench_common.hpp"
 #include "casestudies/byzantine.hpp"
 #include "repair/cautious.hpp"
 #include "repair/lazy.hpp"
 #include "support/stopwatch.hpp"
+#include "table_specs.hpp"
 
 namespace {
 
@@ -78,4 +82,6 @@ BENCHMARK(BM_BAFS_Cautious_OneShot)
 
 }  // namespace
 
-LR_BENCH_MAIN("Table II-a — Byzantine agreement with fail-stop faults")
+LR_BENCH_MAIN_WITH_BATCH(
+    "Table II-a — Byzantine agreement with fail-stop faults",
+    ::lr::bench::table2_tasks)

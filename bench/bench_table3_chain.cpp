@@ -2,10 +2,14 @@
 // lengths. Domain 8 per variable matches the paper's state-space range
 // (Sc^20 ≈ 10^19 ... Sc^30 ≈ 10^28).
 
+// `--batch-jobs=N` runs the same sweep (see table_specs.hpp) concurrently
+// through the batch executor instead of google-benchmark.
+
 #include "bench_common.hpp"
 #include "casestudies/chain.hpp"
 #include "repair/lazy.hpp"
 #include "support/stopwatch.hpp"
+#include "table_specs.hpp"
 
 namespace {
 
@@ -54,4 +58,5 @@ BENCHMARK(BM_Chain_Lazy_OneShot)
 
 }  // namespace
 
-LR_BENCH_MAIN("Table II-b — Stabilizing chain")
+LR_BENCH_MAIN_WITH_BATCH("Table II-b — Stabilizing chain",
+                         ::lr::bench::table3_tasks)

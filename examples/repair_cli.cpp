@@ -6,12 +6,21 @@
 //              [--level=masking|failsafe|nonmasking]
 //              [--print-program] [--no-verify] [--stats]
 //              [--trace-out=FILE] [--metrics-json=FILE] [--log-level=LEVEL]
+//   repair_cli --batch DIR [--jobs=N] [shared options]
+//
+// Batch mode repairs every DIR/*.lr concurrently on a fixed-size thread
+// pool (one BDD manager per task) and prints one deterministic per-model
+// report: the stdout of `--jobs 8` is byte-identical to `--jobs 1`
+// (timing goes to stderr and the metrics report only).
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "lang/parser.hpp"
+#include "repair/batch.hpp"
 #include "repair/cautious.hpp"
 #include "repair/describe.hpp"
 #include "repair/export.hpp"
@@ -22,13 +31,125 @@
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
+
+namespace {
+
+/// Batch mode: repair every *.lr under `dir` across the thread pool and
+/// print a deterministic per-model report (sorted by file name, no timing
+/// on stdout).
+int run_batch_mode(const lr::support::CommandLine& cli,
+                   const lr::repair::Options& options,
+                   const std::string& trace_path,
+                   const std::string& metrics_path) {
+  namespace fs = std::filesystem;
+  const std::string dir = cli.get("batch", "");
+  std::vector<fs::path> models;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".lr") models.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read directory %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  if (models.empty()) {
+    std::fprintf(stderr, "no *.lr models under %s\n", dir.c_str());
+    return 2;
+  }
+  std::sort(models.begin(), models.end());
+
+  const bool cautious = cli.has("cautious");
+  const bool verify = !cli.has("no-verify");
+  std::vector<lr::repair::BatchTask> tasks;
+  tasks.reserve(models.size());
+  for (const fs::path& path : models) {
+    lr::repair::BatchTask task;
+    task.name = path.stem().string();
+    task.options = options;
+    task.algorithm = cautious ? lr::repair::BatchTask::Algorithm::kCautious
+                              : lr::repair::BatchTask::Algorithm::kLazy;
+    task.verify = verify;
+    task.make_program = [file = path.string()] {
+      return lr::lang::parse_program_file(file);
+    };
+    tasks.push_back(std::move(task));
+  }
+
+  lr::repair::BatchOptions batch_options;
+  batch_options.jobs = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, cli.get_int("jobs",
+                     static_cast<std::int64_t>(
+                         lr::support::ThreadPool::hardware_threads()))));
+  const lr::repair::BatchReport report =
+      lr::repair::run_batch(tasks, batch_options);
+
+  std::printf("batch: %zu models from %s, algorithm %s\n",
+              models.size(), dir.c_str(), cautious ? "cautious" : "lazy");
+  for (const lr::repair::BatchItemResult& item : report.items) {
+    std::printf("\nmodel: %s", item.name.c_str());
+    if (item.build_ok) {
+      std::printf(" (%s states)\n",
+                  lr::support::format_state_count(item.model_states).c_str());
+    } else {
+      std::printf("\n  error: %s\n", item.failure_reason.c_str());
+      continue;
+    }
+    if (!item.success) {
+      std::printf("  result: repair failed: %s\n",
+                  item.failure_reason.c_str());
+      continue;
+    }
+    std::printf("  result: ok\n");
+    std::printf("  invariant S' states: %s\n",
+                lr::support::format_state_count(item.stats.invariant_states)
+                    .c_str());
+    std::printf("  fault-span states: %s\n",
+                lr::support::format_state_count(item.stats.span_states)
+                    .c_str());
+    if (item.verified) {
+      std::printf("  verification: %s\n", item.verify_ok ? "OK" : "FAILED");
+      for (const std::string& failure : item.verify_failures) {
+        std::printf("    %s\n", failure.c_str());
+      }
+    }
+  }
+  std::printf("\nbatch summary: %zu/%zu ok\n", report.ok_count(),
+              report.items.size());
+  // Timing is real but nondeterministic; stderr keeps stdout byte-stable
+  // across --jobs values.
+  std::fprintf(stderr, "batch wall time: %.3fs (jobs=%zu)\n",
+               report.wall_seconds, report.jobs);
+
+  bool reports_ok = true;
+  if (!trace_path.empty()) {
+    lr::support::trace::stop();
+    if (!lr::support::trace::write_chrome_json_file(trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      reports_ok = false;
+    }
+  }
+  if (!metrics_path.empty() &&
+      !lr::repair::write_metrics_report(metrics_path)) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    reports_ok = false;
+  }
+  if (!reports_ok) return 1;
+  return report.failed_count() == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const lr::support::CommandLine cli(argc, argv);
-  if (cli.positional().empty()) {
+  if (cli.positional().empty() && !cli.has("batch")) {
     std::printf(
         "usage: %s MODEL.lr [options]\n"
+        "       %s --batch DIR [--jobs=N] [options]\n"
+        "  --batch=DIR           repair every DIR/*.lr on a thread pool\n"
+        "  --jobs=N              batch worker threads (default: hardware)\n"
         "  --cautious            use the cautious baseline (default: lazy)\n"
         "  --oneshot             one-shot group quantification (ablation)\n"
         "  --no-heuristic        disable the reachable-states restriction\n"
@@ -41,7 +162,7 @@ int main(int argc, char** argv) {
         "  --metrics-json=FILE   write a machine-readable JSON run report\n"
         "  --log-level=LEVEL     trace|debug|info|warn|error|off (default\n"
         "                        warn; LR_LOG_LEVEL env var also works)\n",
-        cli.program().c_str());
+        cli.program().c_str(), cli.program().c_str());
     return 2;
   }
 
@@ -57,15 +178,6 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.get("trace-out", "");
   if (!trace_path.empty()) lr::support::trace::start();
 
-  std::unique_ptr<lr::prog::DistributedProgram> program;
-  try {
-    program = lr::lang::parse_program_file(cli.positional()[0]);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(),
-                 error.what());
-    return 2;
-  }
-
   lr::repair::Options options;
   if (cli.has("oneshot")) {
     options.group_method = lr::repair::GroupMethod::kOneShot;
@@ -78,6 +190,20 @@ int main(int argc, char** argv) {
     options.level = lr::repair::ToleranceLevel::kNonmasking;
   } else if (level != "masking") {
     std::fprintf(stderr, "unknown tolerance level '%s'\n", level.c_str());
+    return 2;
+  }
+
+  const std::string metrics_path_early = cli.get("metrics-json", "");
+  if (cli.has("batch")) {
+    return run_batch_mode(cli, options, trace_path, metrics_path_early);
+  }
+
+  std::unique_ptr<lr::prog::DistributedProgram> program;
+  try {
+    program = lr::lang::parse_program_file(cli.positional()[0]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(),
+                 error.what());
     return 2;
   }
 

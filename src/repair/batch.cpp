@@ -1,0 +1,124 @@
+#include "repair/batch.hpp"
+
+#include <exception>
+
+#include "explicit_model/explicit_model.hpp"
+#include "repair/cautious.hpp"
+#include "repair/lazy.hpp"
+#include "repair/report.hpp"
+#include "support/log.hpp"
+#include "support/metrics.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace lr::repair {
+
+namespace {
+
+std::string default_label(const BatchTask& task) {
+  const char* base =
+      task.algorithm == BatchTask::Algorithm::kCautious ? "cautious" : "lazy";
+  const char* method = task.options.group_method == GroupMethod::kOneShot
+                           ? " (one-shot)"
+                           : " (group loop)";
+  return std::string(base) + method;
+}
+
+/// Runs one task start-to-finish on the current thread. noexcept by
+/// construction: every failure path lands in the item, never in the pool.
+BatchItemResult run_task(const BatchTask& task) {
+  BatchItemResult item;
+  item.name = task.name;
+  item.algorithm =
+      task.algorithm_label.empty() ? default_label(task) : task.algorithm_label;
+  support::Stopwatch watch;
+  LR_TRACE_SPAN_NAMED(span, "batch.task");
+  span.attr("name", std::string_view(task.name));
+  try {
+    std::unique_ptr<prog::DistributedProgram> program = task.make_program();
+    item.build_ok = true;
+    item.model_states = program->space().state_space_size();
+    const RepairResult result =
+        task.algorithm == BatchTask::Algorithm::kCautious
+            ? cautious_repair(*program, task.options)
+            : lazy_repair(*program, task.options);
+    item.success = result.success;
+    item.failure_reason = result.failure_reason;
+    item.stats = result.stats;
+    if (result.success && task.verify) {
+      item.verified = true;
+      const VerifyReport report =
+          verify_masking(*program, result, task.options.level);
+      item.verify_ok = report.ok;
+      item.verify_failures = report.failures;
+    }
+  } catch (const std::exception& error) {
+    item.failure_reason = error.what();
+  } catch (...) {
+    item.failure_reason = "unknown exception";
+  }
+  item.seconds = watch.seconds();
+  span.attr("ok", std::uint64_t{item.ok() ? 1u : 0u});
+  return item;
+}
+
+}  // namespace
+
+std::size_t BatchReport::ok_count() const noexcept {
+  std::size_t n = 0;
+  for (const BatchItemResult& item : items) {
+    if (item.ok()) ++n;
+  }
+  return n;
+}
+
+std::size_t BatchReport::failed_count() const noexcept {
+  return items.size() - ok_count();
+}
+
+BatchReport run_batch(const std::vector<BatchTask>& tasks,
+                      const BatchOptions& options) {
+  BatchReport report;
+  report.jobs = options.jobs == 0 ? 1 : options.jobs;
+  report.items.resize(tasks.size());
+
+  support::Stopwatch watch;
+  {
+    LR_TRACE_SPAN_NAMED(span, "batch.run");
+    span.attr("tasks", static_cast<std::uint64_t>(tasks.size()));
+    span.attr("jobs", static_cast<std::uint64_t>(report.jobs));
+    support::parallel_for(tasks.size(), report.jobs, [&](std::size_t i) {
+      report.items[i] = run_task(tasks[i]);
+    });
+  }
+  report.wall_seconds = watch.seconds();
+
+  if (options.record_metrics) {
+    // Task order, calling thread: the merged report is reproducible no
+    // matter how the pool interleaved the work.
+    support::metrics::Registry& m = support::metrics::registry();
+    const std::string prefix =
+        options.metrics_prefix.empty() ? "batch" : options.metrics_prefix;
+    for (const BatchItemResult& item : report.items) {
+      if (!item.build_ok) continue;
+      record_run_metrics(item.stats);
+      record_run_metrics(item.stats,
+                         prefix + "." + item.name + "." + item.algorithm);
+      m.set_gauge(prefix + "." + item.name + "." + item.algorithm + ".seconds",
+                  item.seconds);
+    }
+    m.add(prefix + ".tasks", tasks.size());
+    m.add(prefix + ".ok", report.ok_count());
+    m.add(prefix + ".failed", report.failed_count());
+    m.set_gauge(prefix + ".wall_seconds", report.wall_seconds);
+    m.set_gauge(prefix + ".jobs", static_cast<double>(report.jobs));
+  }
+
+  LR_LOG(info) << "[batch] " << report.ok_count() << "/" << tasks.size()
+               << " ok in " << report.wall_seconds << "s (jobs="
+               << report.jobs << ")";
+  return report;
+}
+
+}  // namespace lr::repair

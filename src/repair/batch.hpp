@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "program/distributed_program.hpp"
+#include "repair/types.hpp"
+#include "repair/verify.hpp"
+
+namespace lr::repair {
+
+/// One independent repair problem for the batch executor. The program is
+/// *built inside the worker task* (hence the factory, not a program):
+/// every task therefore owns its own `sym::Space` and BDD manager, which
+/// preserves the engine's one-manager-per-thread contract with zero
+/// sharing between concurrent repairs.
+struct BatchTask {
+  enum class Algorithm { kLazy, kCautious };
+
+  /// Stable identifier: model file stem or benchmark instance ("BA^5").
+  std::string name;
+  /// Builds the fault-intolerant program. Called once, on a worker thread.
+  /// May throw (e.g. parse errors); the error is captured per-task.
+  std::function<std::unique_ptr<prog::DistributedProgram>()> make_program;
+  Options options;
+  Algorithm algorithm = Algorithm::kLazy;
+  /// Display label for the algorithm column; derived from `algorithm` and
+  /// the group method when empty.
+  std::string algorithm_label;
+  /// Run the independent verifier on successful repairs.
+  bool verify = true;
+};
+
+/// Outcome of one task. Everything needed for reporting is copied out of
+/// the worker; the program and its BDD manager die with the task.
+struct BatchItemResult {
+  std::string name;
+  std::string algorithm;  ///< display label
+  /// make_program() and the repair ran without throwing. When false,
+  /// `failure_reason` holds the exception text and nothing else is valid.
+  bool build_ok = false;
+  bool success = false;             ///< repair succeeded
+  std::string failure_reason;       ///< build error or repair failure
+  double model_states = -1.0;       ///< |state space| of the input model
+  Stats stats;
+  double seconds = 0.0;             ///< wall clock: build + repair + verify
+  bool verified = false;            ///< the verifier ran
+  bool verify_ok = false;
+  std::vector<std::string> verify_failures;
+
+  /// Repair succeeded and verification (if run) passed.
+  [[nodiscard]] bool ok() const noexcept {
+    return build_ok && success && (!verified || verify_ok);
+  }
+};
+
+struct BatchOptions {
+  /// Worker threads; <= 1 runs every task inline on the calling thread in
+  /// task order (the sequential reference for determinism tests).
+  std::size_t jobs = 1;
+  /// Mirror per-task and aggregate stats into the process-wide metrics
+  /// registry after the batch completes. Recording happens on the calling
+  /// thread in task order, so the merged report's key set is independent
+  /// of scheduling.
+  bool record_metrics = true;
+  /// Dotted prefix for per-task metric keys:
+  /// "<prefix>.<name>.<algorithm>.repair.*".
+  std::string metrics_prefix = "batch";
+};
+
+struct BatchReport {
+  /// One entry per task, in task order — never in completion order.
+  std::vector<BatchItemResult> items;
+  double wall_seconds = 0.0;
+  std::size_t jobs = 1;
+
+  [[nodiscard]] std::size_t ok_count() const noexcept;
+  [[nodiscard]] std::size_t failed_count() const noexcept;
+};
+
+/// Runs every task, `options.jobs` at a time, on a fixed-size thread pool.
+/// Per-task results are deterministic for a deterministic task list: each
+/// worker is a pure function of its task (own program, own manager, no
+/// shared engine state), so `jobs = 8` produces byte-identical per-task
+/// results to `jobs = 1`, in the same order — only wall-clock and the
+/// interleaving of trace lanes differ.
+[[nodiscard]] BatchReport run_batch(const std::vector<BatchTask>& tasks,
+                                    const BatchOptions& options = {});
+
+}  // namespace lr::repair

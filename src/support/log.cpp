@@ -1,16 +1,21 @@
 #include "support/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace lr::support {
 
 namespace {
 
-// The engine is single-threaded by design (one Manager per thread, see
-// bdd.hpp); the logger shares that contract, so plain globals suffice.
-LogLevel g_level = LogLevel::warn;
-bool g_env_checked = false;
+// The repair engine keeps one BDD manager per thread (see bdd.hpp), but the
+// logger is shared by every thread of the batch executor: the level is an
+// atomic, and emission serializes whole lines under one mutex so
+// interleaved LR_LOG statements never shear.
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::atomic<bool> g_env_checked{false};
+std::mutex g_io_mutex;  // guards g_stream and the actual write
 std::ostream* g_stream = nullptr;
 
 }  // namespace
@@ -37,31 +42,47 @@ std::string_view log_level_name(LogLevel level) {
   return "?";
 }
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void set_log_level(LogLevel level) noexcept {
-  g_level = level;
-  g_env_checked = true;  // an explicit choice beats the environment
+  g_level.store(level, std::memory_order_relaxed);
+  // An explicit choice beats the environment.
+  g_env_checked.store(true, std::memory_order_release);
 }
 
 void init_log_from_env() {
-  g_env_checked = true;
   const char* env = std::getenv("LR_LOG_LEVEL");
-  if (env == nullptr) return;
-  if (const auto parsed = parse_log_level(env)) g_level = *parsed;
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) {
+      g_level.store(*parsed, std::memory_order_relaxed);
+    }
+  }
+  g_env_checked.store(true, std::memory_order_release);
 }
 
 bool log_enabled(LogLevel level) {
-  if (!g_env_checked) init_log_from_env();
-  return level >= g_level && g_level != LogLevel::off;
+  if (!g_env_checked.load(std::memory_order_acquire)) {
+    // First LR_LOG of the process; the lock keeps two racing first calls
+    // from both parsing the environment into a torn level.
+    std::lock_guard<std::mutex> lock(g_io_mutex);
+    if (!g_env_checked.load(std::memory_order_acquire)) init_log_from_env();
+  }
+  const LogLevel threshold = g_level.load(std::memory_order_relaxed);
+  return level >= threshold && threshold != LogLevel::off;
 }
 
-void set_log_stream(std::ostream* stream) noexcept { g_stream = stream; }
+void set_log_stream(std::ostream* stream) noexcept {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  g_stream = stream;
+}
 
 LogMessage::LogMessage(LogLevel level) : level_(level) {}
 
 LogMessage::~LogMessage() {
   const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(g_io_mutex);
   if (g_stream != nullptr) {
     *g_stream << '[' << log_level_name(level_) << "] " << text << '\n';
     g_stream->flush();

@@ -9,52 +9,68 @@
 namespace lr::support::metrics {
 
 void Registry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
   counters_[std::string(name)] += delta;
 }
 
 void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   gauges_[std::string(name)] = value;
 }
 
 void Registry::max_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   double& slot = gauges_[std::string(name)];
   slot = std::max(slot, value);
 }
 
 std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(std::string(name));
   return it == counters_.end() ? 0 : it->second;
 }
 
 double Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(std::string(name));
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 bool Registry::has_counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return counters_.count(std::string(name)) != 0;
 }
 
 bool Registry::has_gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return gauges_.count(std::string(name)) != 0;
 }
 
 void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
 }
 
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Snapshot{counters_, gauges_};
+}
+
 void Registry::write_json(std::ostream& out) const {
+  // Render from a snapshot so the lock is not held across stream I/O (the
+  // stream may be a test's stringstream shared with other assertions).
+  const Snapshot snap = snapshot();
   out << "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
         << "\": " << value;
     first = false;
   }
   out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
   first = true;
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     std::ostringstream num;
     num.precision(17);  // round-trippable doubles
     num << value;

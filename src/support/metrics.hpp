@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -16,6 +17,11 @@ namespace lr::support::metrics {
 /// lookup plus an increment, cheap enough for the engine's per-phase
 /// granularity. Per-operation costs (BDD cache hits and friends) stay in
 /// `bdd::ManagerStats` and are mirrored here once per run.
+///
+/// Thread-safe: every member takes an internal mutex, so batch-executor
+/// workers can record concurrently into the shared process-wide registry.
+/// Contention is bounded by the per-run mirroring granularity. Writers that
+/// need a consistent multi-key view should take snapshot().
 class Registry {
  public:
   /// Adds `delta` to a counter, creating it at zero first.
@@ -38,7 +44,7 @@ class Registry {
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
   };
-  [[nodiscard]] Snapshot snapshot() const { return Snapshot{counters_, gauges_}; }
+  [[nodiscard]] Snapshot snapshot() const;
 
   /// Serializes the registry as {"counters": {...}, "gauges": {...}} with
   /// keys in sorted order. This is the JSON run-report payload.
@@ -46,6 +52,7 @@ class Registry {
   void write_json(std::ostream& out) const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
 };

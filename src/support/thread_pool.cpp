@@ -1,0 +1,91 @@
+#include "support/thread_pool.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace lr::support {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_available;  // workers wait here
+  std::condition_variable all_idle;        // wait_idle() waits here
+  std::deque<std::function<void()>> queue;
+  std::size_t running = 0;  // tasks currently executing
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_available.wait(lock,
+                          [this] { return shutdown || !queue.empty(); });
+      if (queue.empty()) return;  // shutdown with a drained queue
+      std::function<void()> task = std::move(queue.front());
+      queue.pop_front();
+      ++running;
+      lock.unlock();
+      task();
+      lock.lock();
+      --running;
+      if (queue.empty() && running == 0) all_idle.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) threads = 1;
+  impl_->workers.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_available.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->work_available.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->all_idle.wait(
+      lock, [this] { return impl_->queue.empty() && impl_->running == 0; });
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return impl_->workers.size();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs < count ? jobs : count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace lr::support

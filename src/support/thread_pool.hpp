@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+
+namespace lr::support {
+
+/// Fixed-size thread pool for embarrassingly parallel batches of repair
+/// problems. Deliberately work-stealing-free: one shared FIFO queue under a
+/// mutex. The unit of work here is an entire synthesis run (milliseconds to
+/// minutes), so queue contention is unmeasurable and a plain queue keeps
+/// the scheduling order — and therefore the interleaving of observability
+/// events — easy to reason about.
+///
+/// Each task runs on exactly one worker thread. The BDD engine's contract
+/// (one Manager per thread, see bdd.hpp) is preserved as long as every task
+/// owns its `sym::Space`/`bdd::Manager` and never shares handles across
+/// tasks; the batch engine (repair/batch.hpp) enforces this by
+/// constructing the program inside the task.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue (waits for all submitted tasks) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw — the pool terminates on an
+  /// escaped exception (catch inside the task; the batch engine does).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  /// New tasks may be submitted afterwards (the pool stays alive).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Runs fn(0) .. fn(count-1) across `jobs` pool threads and returns when
+/// all are done. `jobs <= 1` runs inline on the calling thread — the
+/// sequential reference the batch determinism tests compare against.
+/// Indices are dispatched in order, so with jobs == 1 the execution order
+/// is exactly 0, 1, ..., count-1.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace lr::support

@@ -1,7 +1,9 @@
 #include "support/trace.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <vector>
 
@@ -14,9 +16,12 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// A span being measured: attributes accumulate here until the Span closes.
+/// Lives on the owning thread's stack, so no locking is needed until the
+/// span completes.
 struct OpenSpan {
   const char* name = nullptr;
   Clock::time_point start;
+  std::uint64_t generation = 0;  ///< start() count when the span opened
   /// (key, pre-rendered JSON value) pairs.
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -24,60 +29,85 @@ struct OpenSpan {
 /// A finished span, ready for rendering.
 struct Event {
   const char* name = nullptr;
-  double ts_us = 0.0;   ///< start, microseconds since trace start
-  double dur_us = 0.0;  ///< duration in microseconds
+  std::uint32_t lane = 0;  ///< per-thread lane id (Chrome "tid")
+  double ts_us = 0.0;      ///< start, microseconds since trace start
+  double dur_us = 0.0;     ///< duration in microseconds
   std::vector<std::pair<std::string, std::string>> args;
 };
 
-Clock::time_point g_epoch;
-std::vector<OpenSpan> g_open;   // stack of live spans
-std::vector<Event> g_events;    // completed spans
+/// Shared, mutex-protected collector state. Spans touch it only on
+/// completion (one lock per span), so per-phase granularity stays cheap.
+std::mutex g_mutex;
+Clock::time_point g_epoch;             // guarded by g_mutex
+std::vector<Event> g_events;           // guarded by g_mutex
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<std::uint32_t> g_next_lane{1};
 
-double micros_since_epoch(Clock::time_point t) {
-  return std::chrono::duration<double, std::micro>(t - g_epoch).count();
+/// Per-thread collector state: the open-span stack and this thread's lane.
+/// start() cannot clear other threads' stacks, so stale entries are instead
+/// invalidated by the generation stamp.
+thread_local std::vector<OpenSpan> t_open;
+thread_local std::uint32_t t_lane = 0;
+
+std::uint32_t this_thread_lane() {
+  if (t_lane == 0) {
+    t_lane = g_next_lane.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_lane;
 }
 
 void add_arg(std::uint32_t index, std::string_view key, std::string value) {
-  if (index < g_open.size()) {
-    g_open[index].args.emplace_back(std::string(key), std::move(value));
+  if (index < t_open.size()) {
+    t_open[index].args.emplace_back(std::string(key), std::move(value));
   }
 }
 
 }  // namespace
 
 void start() {
-  g_open.clear();
+  std::lock_guard<std::mutex> lock(g_mutex);
   g_events.clear();
   g_epoch = Clock::now();
-  detail::g_enabled = true;
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_relaxed);
 }
 
-void stop() { detail::g_enabled = false; }
+void stop() { detail::g_enabled.store(false, std::memory_order_relaxed); }
 
-std::size_t event_count() { return g_events.size(); }
+std::size_t event_count() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_events.size();
+}
 
 void Span::begin(const char* name) {
   active_ = true;
-  index_ = static_cast<std::uint32_t>(g_open.size());
-  g_open.push_back(OpenSpan{name, Clock::now(), {}});
+  index_ = static_cast<std::uint32_t>(t_open.size());
+  t_open.push_back(OpenSpan{
+      name, Clock::now(), g_generation.load(std::memory_order_relaxed), {}});
 }
 
 void Span::end() {
   active_ = false;
   // Tracing may have stopped (or restarted) while this span was open; only
-  // record spans whose slot is still theirs.
-  if (index_ >= g_open.size() || g_open.size() != index_ + 1) {
-    if (index_ < g_open.size()) g_open.resize(index_);
+  // record spans whose slot on this thread's stack is still theirs.
+  if (index_ >= t_open.size() || t_open.size() != index_ + 1) {
+    if (index_ < t_open.size()) t_open.resize(index_);
     return;
   }
-  OpenSpan open = std::move(g_open.back());
-  g_open.pop_back();
+  OpenSpan open = std::move(t_open.back());
+  t_open.pop_back();
   const auto now = Clock::now();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  // A start() since begin() reset the buffer and epoch — the span belongs
+  // to a trace that no longer exists.
+  if (open.generation != g_generation.load(std::memory_order_relaxed)) return;
   Event event;
   event.name = open.name;
-  event.ts_us = micros_since_epoch(open.start);
-  event.dur_us = std::chrono::duration<double, std::micro>(now - open.start)
-                     .count();
+  event.lane = this_thread_lane();
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(open.start - g_epoch).count();
+  event.dur_us =
+      std::chrono::duration<double, std::micro>(now - open.start).count();
   event.args = std::move(open.args);
   g_events.push_back(std::move(event));
 }
@@ -100,14 +130,17 @@ void Span::attr(std::string_view key, std::string_view value) {
 }
 
 void write_chrome_json(std::ostream& out) {
+  std::lock_guard<std::mutex> lock(g_mutex);
   out << "{\"traceEvents\":[";
   bool first = true;
+  std::vector<std::uint32_t> lanes;
   for (const Event& event : g_events) {
     if (!first) out << ",";
     first = false;
     out << "\n{\"name\":\"" << json_escape(event.name)
-        << "\",\"cat\":\"lazyrepair\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
-        << "\"ts\":" << event.ts_us << ",\"dur\":" << event.dur_us;
+        << "\",\"cat\":\"lazyrepair\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << event.lane << ",\"ts\":" << event.ts_us
+        << ",\"dur\":" << event.dur_us;
     if (!event.args.empty()) {
       out << ",\"args\":{";
       for (std::size_t i = 0; i < event.args.size(); ++i) {
@@ -118,6 +151,15 @@ void write_chrome_json(std::ostream& out) {
       out << "}";
     }
     out << "}";
+    if (std::find(lanes.begin(), lanes.end(), event.lane) == lanes.end()) {
+      lanes.push_back(event.lane);
+    }
+  }
+  // Name the lanes so the viewer labels each thread's row. Appended after
+  // the complete events: consumers that index the array see spans first.
+  for (const std::uint32_t lane : lanes) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << lane << ",\"args\":{\"name\":\"lane-" << lane << "\"}}";
   }
   out << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

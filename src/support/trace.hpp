@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -9,15 +10,19 @@ namespace lr::support::trace {
 
 namespace detail {
 /// Global collection switch. Inline so the Span constructor compiles to a
-/// load-and-branch when tracing is off; plain bool because the engine is
-/// single-threaded by design (see bdd.hpp).
-inline bool g_enabled = false;
+/// load-and-branch when tracing is off. Relaxed atomic: spans opened on
+/// worker threads (the batch executor runs one repair problem per pool
+/// thread) must observe start()/stop() without tearing; precise ordering
+/// with respect to concurrently opened spans does not matter.
+inline std::atomic<bool> g_enabled{false};
 }  // namespace detail
 
 /// True while a trace is being collected. Use this to guard attribute
 /// computations that are themselves expensive (state counts, node counts):
 ///   if (trace::enabled()) span.attr("states", space.count_states(s));
-[[nodiscard]] inline bool enabled() noexcept { return detail::g_enabled; }
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
 
 /// Starts collecting spans (clears any previous buffer). Nesting comes from
 /// span lifetimes; timestamps are microseconds since this call.
@@ -42,11 +47,16 @@ bool write_chrome_json_file(const std::string& path);
 
 /// RAII span: measures from construction to destruction. When tracing is
 /// disabled the constructor is a single branch and every other member is a
-/// no-op. Spans must be destroyed in LIFO order (automatic storage).
+/// no-op. Spans must be destroyed in LIFO order (automatic storage) *per
+/// thread*: each thread owns its own open-span stack, completed spans land
+/// in one shared buffer, and every event carries a small per-thread lane id
+/// rendered as the Chrome trace "tid" so concurrent repairs show up as
+/// parallel lanes in the viewer. A span must begin and end on the same
+/// thread (automatic storage guarantees this).
 class Span {
  public:
   explicit Span(const char* name) {
-    if (detail::g_enabled) begin(name);
+    if (enabled()) begin(name);
   }
   ~Span() {
     if (active_) end();

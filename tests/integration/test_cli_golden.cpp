@@ -1,0 +1,140 @@
+// Golden-file tests for the repair_cli front end: run the real binary on
+// the checked-in models and compare its stdout and its --metrics-json
+// report against expectations under tests/golden/. Timing fields are
+// normalized away (they are the only nondeterministic output); everything
+// else — state counts, verification verdicts, metric keys and counter
+// values — is pinned byte-for-byte.
+//
+// Regenerate the goldens after an intentional output change with
+//   LR_UPDATE_GOLDEN=1 ./test_cli_golden
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string cli_path() { return LR_REPAIR_CLI; }
+
+std::string golden_dir() { return std::string(LR_SOURCE_DIR) + "/tests/golden"; }
+
+std::string models_dir() { return std::string(LR_SOURCE_DIR) + "/models"; }
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;  ///< stdout only (stderr carries timing/log noise)
+};
+
+CliRun run_cli(const std::string& args) {
+  CliRun run;
+  const std::string command = cli_path() + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    run.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+/// Replaces duration tokens ("40ms", "0.123ms", "2.01s") with "<time>",
+/// then collapses runs of spaces: the summary table pads its value column
+/// to the widest entry, so a timing that crosses a digit or unit boundary
+/// ("98ms" -> "102ms" -> "1.02s") would otherwise shift padding around
+/// deterministic cells. State counts never match the duration pattern:
+/// they are bare integers or carry an e-exponent ("6.2e10"), no unit.
+std::string normalize_stdout(const std::string& text) {
+  static const std::regex duration(R"((\d+(\.\d+)?)(ms|s)\b)");
+  static const std::regex spaces(R"(  +)");
+  return std::regex_replace(std::regex_replace(text, duration, "<time>"),
+                            spaces, " ");
+}
+
+/// Blanks the values of timing gauges in the pretty-printed metrics JSON
+/// (one "key": value per line, so a line-anchored regex is exact).
+std::string normalize_metrics(const std::string& text) {
+  static const std::regex timing(R"~(("[^"]*(seconds|_time)[^"]*":\s*)[-0-9.eE+]+)~");
+  return std::regex_replace(text, timing, "$1<time>");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Compares `actual` to the golden file, or rewrites the golden when
+/// LR_UPDATE_GOLDEN is set.
+void expect_matches_golden(const std::string& actual,
+                           const std::string& golden_name) {
+  const std::string path = golden_dir() + "/" + golden_name;
+  if (std::getenv("LR_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << path
+      << " (regenerate with LR_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(actual, expected) << "output drifted from " << golden_name
+                              << " (LR_UPDATE_GOLDEN=1 to accept)";
+}
+
+class CliGoldenTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CliGoldenTest, StdoutMatchesGolden) {
+  const std::string model = GetParam();
+  const CliRun run = run_cli(models_dir() + "/" + model + ".lr --stats");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  expect_matches_golden(normalize_stdout(run.output),
+                        model + ".stdout.golden");
+}
+
+TEST_P(CliGoldenTest, MetricsReportMatchesGolden) {
+  const std::string model = GetParam();
+  const std::string metrics_path =
+      ::testing::TempDir() + "cli_golden_" + model + ".json";
+  const CliRun run = run_cli(models_dir() + "/" + model + ".lr" +
+                             " --metrics-json=" + metrics_path);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  const std::string metrics = read_file(metrics_path);
+  ASSERT_FALSE(metrics.empty()) << "no metrics report at " << metrics_path;
+  expect_matches_golden(normalize_metrics(metrics),
+                        model + ".metrics.golden");
+  std::remove(metrics_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CliGoldenTest,
+                         ::testing::Values("quickstart", "tmr", "mutex_ring"));
+
+TEST(CliGoldenTest_Batch, BatchStdoutMatchesGoldenAndIsJobIndependent) {
+  const CliRun jobs1 = run_cli("--batch " + models_dir() + " --jobs 1");
+  const CliRun jobs8 = run_cli("--batch " + models_dir() + " --jobs 8");
+  EXPECT_EQ(jobs1.exit_code, 0);
+  EXPECT_EQ(jobs8.exit_code, 0);
+  // The batch report prints no timing on stdout, so the two runs must be
+  // byte-identical before any normalization.
+  EXPECT_EQ(jobs1.output, jobs8.output);
+  // Normalize the model directory path out of the header line.
+  std::string stable = jobs1.output;
+  const std::string dir = models_dir();
+  for (std::size_t at = stable.find(dir); at != std::string::npos;
+       at = stable.find(dir)) {
+    stable.replace(at, dir.size(), "<models>");
+  }
+  expect_matches_golden(stable, "batch.stdout.golden");
+}
+
+}  // namespace

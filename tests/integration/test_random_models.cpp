@@ -1,12 +1,28 @@
-// Fuzz-style soundness sweep: random small distributed programs (random
-// topologies, actions, faults, invariants and specifications) are fed to
-// lazy repair; *whenever* it claims success, both the symbolic verifier
-// and the explicit-state checker must accept the result. Failures are
-// expected and fine — unsound successes are not.
+// Sharded differential fuzz harness: random small distributed programs
+// (see tests/support/model_gen.hpp) are fed to the repair algorithms
+// across the batch thread pool; *whenever* repair claims success, both the
+// symbolic verifier and the explicit-state checker must accept the result.
+// Failures are expected and fine — unsound successes are not.
+//
+// Environment knobs:
+//   LR_FUZZ_SEED=N     base seed (model i uses seed N+i); default 20160523
+//   LR_FUZZ_MODELS=N   models in the main lazy sweep; default 512
+//   LR_FUZZ_JOBS=N     worker threads; default min(8, hardware)
+//
+// On an unsound success the harness immediately prints the exact failing
+// seed and a one-line repro command, e.g.
+//   LR_FUZZ_SEED=20160711 LR_FUZZ_MODELS=1 ./test_random_models
+// which replays exactly that model (model_seed(base, 0) == base).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "explicit_model/explicit_model.hpp"
@@ -15,177 +31,166 @@
 #include "repair/lazy.hpp"
 #include "repair/verify.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "../support/model_gen.hpp"
 
 namespace lr::repair {
 namespace {
 
-using lang::Expr;
-using prog::DistributedProgram;
-
-/// Builds a random program: 2-3 variables of domain 2-3, 1-3 processes
-/// with random read/write topology and random guarded commands, 1-2 fault
-/// actions, a random nonempty invariant and a random (possibly empty)
-/// safety specification.
-std::unique_ptr<DistributedProgram> random_program(
-    lr::support::SplitMix64& rng) {
-  auto p = std::make_unique<DistributedProgram>("fuzz");
-  const std::size_t nvars = 2 + rng.below(2);
-  std::vector<sym::VarId> vars;
-  std::vector<std::uint32_t> domains;
-  for (std::size_t v = 0; v < nvars; ++v) {
-    const auto domain = static_cast<std::uint32_t>(2 + rng.below(2));
-    vars.push_back(p->add_variable("v" + std::to_string(v), domain));
-    domains.push_back(domain);
-  }
-
-  auto random_state_expr = [&]() {
-    // Random conjunction/disjunction of var==const literals.
-    Expr e = Expr::var(vars[rng.below(nvars)]) ==
-             static_cast<std::uint32_t>(rng.below(domains[0]));
-    for (std::size_t i = 0; i < 1 + rng.below(2); ++i) {
-      const std::size_t v = rng.below(nvars);
-      const Expr lit =
-          Expr::var(vars[v]) == static_cast<std::uint32_t>(rng.below(domains[v]));
-      e = rng.flip() ? (e && lit) : (e || lit);
-    }
-    return e;
-  };
-
-  const std::size_t nproc = 1 + rng.below(3);
-  for (std::size_t j = 0; j < nproc; ++j) {
-    prog::Process proc;
-    proc.name = "p" + std::to_string(j);
-    // Writes: one or two variables; reads: writes + random others.
-    std::vector<bool> writes(nvars, false);
-    writes[rng.below(nvars)] = true;
-    if (rng.chance(1, 3)) writes[rng.below(nvars)] = true;
-    std::vector<bool> reads = writes;
-    for (std::size_t v = 0; v < nvars; ++v) {
-      if (rng.flip()) reads[v] = true;
-    }
-    for (std::size_t v = 0; v < nvars; ++v) {
-      if (reads[v]) proc.reads.push_back(vars[v]);
-      if (writes[v]) proc.writes.push_back(vars[v]);
-    }
-    const std::size_t nactions = 1 + rng.below(2);
-    for (std::size_t a = 0; a < nactions; ++a) {
-      // Guard over readable variables only (well-formed programs).
-      Expr guard = Expr::bool_const(true);
-      for (std::size_t v = 0; v < nvars; ++v) {
-        if (reads[v] && rng.flip()) {
-          guard = guard && (Expr::var(vars[v]) ==
-                            static_cast<std::uint32_t>(rng.below(domains[v])));
-        }
-      }
-      lang::Action action;
-      action.name = "a" + std::to_string(a);
-      action.guard = guard;
-      for (std::size_t v = 0; v < nvars; ++v) {
-        if (writes[v] && rng.flip()) {
-          action.assigns.push_back(
-              {vars[v],
-               {Expr::constant(static_cast<std::uint32_t>(
-                   rng.below(domains[v])))}});
-        }
-      }
-      if (action.assigns.empty()) {
-        action.assigns.push_back(
-            {proc.writes[0], {Expr::constant(0)}});
-      }
-      proc.actions.push_back(std::move(action));
-    }
-    p->add_process(std::move(proc));
-  }
-
-  const std::size_t nfaults = 1 + rng.below(2);
-  for (std::size_t f = 0; f < nfaults; ++f) {
-    lang::Action fault;
-    fault.name = "f" + std::to_string(f);
-    fault.guard = rng.flip() ? Expr::bool_const(true) : random_state_expr();
-    fault.havoc.push_back(vars[rng.below(nvars)]);
-    p->add_fault(std::move(fault));
-  }
-
-  p->set_invariant(random_state_expr());
-  if (rng.flip()) p->add_bad_states(random_state_expr());
-  if (rng.chance(1, 3)) {
-    const std::size_t v = rng.below(nvars);
-    p->add_bad_transitions(random_state_expr() &&
-                           Expr::next(vars[v]) != Expr::var(vars[v]));
-  }
-  return p;
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 0);
 }
 
-class RandomModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+std::uint64_t base_seed() { return env_u64("LR_FUZZ_SEED", 20160523ull); }
 
-TEST_P(RandomModelTest, LazySuccessesAreSound) {
-  lr::support::SplitMix64 rng(GetParam());
-  int successes = 0;
-  for (int round = 0; round < 40; ++round) {
-    auto program = random_program(rng);
+std::size_t sweep_models(std::size_t fallback) {
+  return static_cast<std::size_t>(env_u64("LR_FUZZ_MODELS", fallback));
+}
+
+std::size_t sweep_jobs() {
+  const std::size_t hw = support::ThreadPool::hardware_threads();
+  return static_cast<std::size_t>(
+      env_u64("LR_FUZZ_JOBS", std::min<std::size_t>(8, hw)));
+}
+
+/// Collects unsound-success reports from the worker threads. gtest
+/// assertions are not thread-safe, so shards push messages here and the
+/// main thread fails the test after the pool drains.
+class FailureLog {
+ public:
+  explicit FailureLog(const char* suite) : suite_(suite) {}
+
+  /// Records one unsound success and immediately prints the seed plus a
+  /// one-line repro command (so the evidence survives even a later crash).
+  void record(std::uint64_t seed, const std::string& message) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fprintf(stderr,
+                 "[fuzz] UNSOUND seed=%llu: %s\n"
+                 "[fuzz] repro: LR_FUZZ_SEED=%llu LR_FUZZ_MODELS=1 "
+                 "./test_random_models --gtest_filter='*%s*'\n",
+                 static_cast<unsigned long long>(seed), message.c_str(),
+                 static_cast<unsigned long long>(seed), suite_);
+    messages_.push_back("seed " + std::to_string(seed) + ": " + message);
+  }
+
+  /// Replays the log as test failures; call from the main thread.
+  void flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& message : messages_) {
+      ADD_FAILURE() << message;
+    }
+  }
+
+ private:
+  const char* suite_;
+  std::mutex mutex_;
+  std::vector<std::string> messages_;
+};
+
+TEST(ShardedFuzzTest, LazySuccessesAreSound) {
+  const std::uint64_t base = base_seed();
+  const std::size_t count = sweep_models(512);
+  FailureLog failures("Lazy");
+  std::atomic<int> successes{0};
+  support::parallel_for(count, sweep_jobs(), [&](std::size_t i) {
+    const std::uint64_t seed = testgen::model_seed(base, i);
+    support::SplitMix64 rng(seed);
+    auto program = testgen::random_program(rng);
     const RepairResult result = lazy_repair(*program);
-    if (!result.success) continue;
-    ++successes;
+    if (!result.success) return;
+    successes.fetch_add(1, std::memory_order_relaxed);
     const VerifyReport report = verify_masking(*program, result);
-    EXPECT_TRUE(report.ok) << "seed " << GetParam() << " round " << round;
-    for (const auto& f : report.failures) {
-      ADD_FAILURE() << "round " << round << ": " << f;
+    if (!report.ok) {
+      std::string detail = "symbolic verifier rejected lazy success";
+      for (const auto& f : report.failures) detail += "; " + f;
+      failures.record(seed, detail);
     }
     xmodel::ExplicitModel model(*program);
     const auto explicit_report = model.verify(result);
-    EXPECT_TRUE(explicit_report.ok) << "seed " << GetParam() << " round "
-                                    << round;
-    for (const auto& f : explicit_report.failures) {
-      ADD_FAILURE() << "round " << round << " (explicit): " << f;
+    if (!explicit_report.ok) {
+      std::string detail = "explicit-state checker rejected lazy success";
+      for (const auto& f : explicit_report.failures) detail += "; " + f;
+      failures.record(seed, detail);
     }
-  }
+  });
+  failures.flush();
   // The generator is tuned so a healthy fraction of models is repairable;
   // a sweep that never succeeds would test nothing.
-  EXPECT_GT(successes, 0) << "seed " << GetParam();
+  EXPECT_GT(successes.load(), 0) << "base seed " << base;
 }
 
-TEST_P(RandomModelTest, CautiousSuccessesAreSound) {
-  lr::support::SplitMix64 rng(GetParam() ^ 0xCAB005Eull);
+TEST(ShardedFuzzTest, CautiousSuccessesAreSound) {
+  const std::uint64_t base = base_seed() ^ 0xCAB005Eull;
+  const std::size_t count = sweep_models(128);
+  FailureLog failures("Cautious");
+  std::atomic<int> successes{0};
   Options options;
   options.group_method = GroupMethod::kOneShot;
-  int successes = 0;
-  for (int round = 0; round < 25; ++round) {
-    auto program = random_program(rng);
+  support::parallel_for(count, sweep_jobs(), [&](std::size_t i) {
+    const std::uint64_t seed = testgen::model_seed(base, i);
+    support::SplitMix64 rng(seed);
+    auto program = testgen::random_program(rng);
     const RepairResult result = cautious_repair(*program, options);
-    if (!result.success) continue;
-    ++successes;
+    if (!result.success) return;
+    successes.fetch_add(1, std::memory_order_relaxed);
     const VerifyReport report = verify_masking(*program, result);
-    EXPECT_TRUE(report.ok) << "seed " << GetParam() << " round " << round;
-    for (const auto& f : report.failures) {
-      ADD_FAILURE() << "round " << round << ": " << f;
+    if (!report.ok) {
+      std::string detail = "symbolic verifier rejected cautious success";
+      for (const auto& f : report.failures) detail += "; " + f;
+      failures.record(seed, detail);
     }
-  }
-  EXPECT_GT(successes, 0) << "seed " << GetParam();
+  });
+  failures.flush();
+  EXPECT_GT(successes.load(), 0) << "base seed " << base;
 }
 
-TEST_P(RandomModelTest, FailsafeSuccessesAreSound) {
-  lr::support::SplitMix64 rng(GetParam() ^ 0xFA15AFEull);
+TEST(ShardedFuzzTest, FailsafeSuccessesAreSound) {
+  const std::uint64_t base = base_seed() ^ 0xFA15AFEull;
+  const std::size_t count = sweep_models(128);
+  FailureLog failures("Failsafe");
+  std::atomic<int> successes{0};
   Options options;
   options.level = ToleranceLevel::kFailsafe;
-  int successes = 0;
-  for (int round = 0; round < 25; ++round) {
-    auto program = random_program(rng);
+  support::parallel_for(count, sweep_jobs(), [&](std::size_t i) {
+    const std::uint64_t seed = testgen::model_seed(base, i);
+    support::SplitMix64 rng(seed);
+    auto program = testgen::random_program(rng);
     const RepairResult result = lazy_repair(*program, options);
-    if (!result.success) continue;
-    ++successes;
+    if (!result.success) return;
+    successes.fetch_add(1, std::memory_order_relaxed);
     const VerifyReport report =
         verify_masking(*program, result, ToleranceLevel::kFailsafe);
-    EXPECT_TRUE(report.ok) << "seed " << GetParam() << " round " << round;
-    for (const auto& f : report.failures) {
-      ADD_FAILURE() << "round " << round << ": " << f;
+    if (!report.ok) {
+      std::string detail = "symbolic verifier rejected failsafe success";
+      for (const auto& f : report.failures) detail += "; " + f;
+      failures.record(seed, detail);
     }
-  }
-  EXPECT_GT(successes, 0) << "seed " << GetParam();
+  });
+  failures.flush();
+  EXPECT_GT(successes.load(), 0) << "base seed " << base;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelTest,
-                         ::testing::Values(11ull, 23ull, 37ull, 53ull,
-                                           71ull, 97ull));
+/// The sweep must be reproducible: the same base seed produces the same
+/// models, so a shard's failure replays exactly from the printed command.
+TEST(ShardedFuzzTest, ShardingIsDeterministic) {
+  const std::uint64_t base = 97ull;
+  for (const std::uint64_t index : {0ull, 7ull, 511ull}) {
+    const std::uint64_t seed = testgen::model_seed(base, index);
+    support::SplitMix64 rng_a(seed);
+    support::SplitMix64 rng_b(seed);
+    auto a = testgen::random_program(rng_a);
+    auto b = testgen::random_program(rng_b);
+    const RepairResult ra = lazy_repair(*a);
+    const RepairResult rb = lazy_repair(*b);
+    EXPECT_EQ(ra.success, rb.success) << "index " << index;
+    if (ra.success && rb.success) {
+      EXPECT_EQ(ra.stats.invariant_states, rb.stats.invariant_states);
+      EXPECT_EQ(ra.stats.span_states, rb.stats.span_states);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace lr::repair

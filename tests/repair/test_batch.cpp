@@ -1,0 +1,153 @@
+// Tests for the batch repair executor: determinism across job counts,
+// task-order results, per-task error capture, and metrics recording.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "casestudies/chain.hpp"
+#include "casestudies/tmr.hpp"
+#include "casestudies/token_ring.hpp"
+#include "repair/batch.hpp"
+#include "support/metrics.hpp"
+
+namespace lr::repair {
+namespace {
+
+std::vector<BatchTask> mixed_tasks() {
+  std::vector<BatchTask> tasks;
+  {
+    BatchTask task;
+    task.name = "tmr";
+    task.make_program = [] { return cs::make_tmr({}); };
+    tasks.push_back(std::move(task));
+  }
+  {
+    BatchTask task;
+    task.name = "chain4";
+    task.make_program = [] {
+      return cs::make_chain({.length = 4, .domain = 3});
+    };
+    tasks.push_back(std::move(task));
+  }
+  {
+    BatchTask task;
+    task.name = "ring4";
+    task.make_program = [] {
+      return cs::make_token_ring({.processes = 4, .domain = 4});
+    };
+    tasks.push_back(std::move(task));
+  }
+  {
+    BatchTask task;
+    task.name = "tmr-cautious";
+    task.algorithm = BatchTask::Algorithm::kCautious;
+    task.options.group_method = GroupMethod::kOneShot;
+    task.make_program = [] { return cs::make_tmr({}); };
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+TEST(BatchTest, RepairsEveryTaskAndKeepsTaskOrder) {
+  const auto tasks = mixed_tasks();
+  BatchOptions options;
+  options.jobs = 4;
+  options.record_metrics = false;
+  const BatchReport report = run_batch(tasks, options);
+  ASSERT_EQ(report.items.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(report.items[i].name, tasks[i].name) << "order broken at " << i;
+    EXPECT_TRUE(report.items[i].ok()) << tasks[i].name << ": "
+                                      << report.items[i].failure_reason;
+    EXPECT_TRUE(report.items[i].verified);
+  }
+  EXPECT_EQ(report.ok_count(), tasks.size());
+  EXPECT_EQ(report.failed_count(), 0u);
+}
+
+TEST(BatchTest, ParallelResultsMatchSequentialExactly) {
+  const auto tasks = mixed_tasks();
+  BatchOptions sequential;
+  sequential.jobs = 1;
+  sequential.record_metrics = false;
+  BatchOptions parallel = sequential;
+  parallel.jobs = 8;
+  const BatchReport a = run_batch(tasks, sequential);
+  const BatchReport b = run_batch(tasks, parallel);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    const BatchItemResult& x = a.items[i];
+    const BatchItemResult& y = b.items[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.success, y.success) << x.name;
+    EXPECT_EQ(x.verify_ok, y.verify_ok) << x.name;
+    EXPECT_EQ(x.model_states, y.model_states) << x.name;
+    // The synthesized artifacts are deterministic; only time may differ.
+    EXPECT_EQ(x.stats.invariant_states, y.stats.invariant_states) << x.name;
+    EXPECT_EQ(x.stats.span_states, y.stats.span_states) << x.name;
+    EXPECT_EQ(x.stats.outer_iterations, y.stats.outer_iterations) << x.name;
+    EXPECT_EQ(x.stats.group_iterations, y.stats.group_iterations) << x.name;
+    EXPECT_EQ(x.stats.bdd.created_nodes, y.stats.bdd.created_nodes) << x.name;
+  }
+}
+
+TEST(BatchTest, BuildErrorsAreCapturedPerTask) {
+  std::vector<BatchTask> tasks;
+  {
+    BatchTask task;
+    task.name = "broken";
+    task.make_program = []() -> std::unique_ptr<prog::DistributedProgram> {
+      throw std::runtime_error("synthetic build failure");
+    };
+    tasks.push_back(std::move(task));
+  }
+  {
+    BatchTask task;
+    task.name = "tmr";
+    task.make_program = [] { return cs::make_tmr({}); };
+    tasks.push_back(std::move(task));
+  }
+  BatchOptions options;
+  options.jobs = 2;
+  options.record_metrics = false;
+  const BatchReport report = run_batch(tasks, options);
+  ASSERT_EQ(report.items.size(), 2u);
+  EXPECT_FALSE(report.items[0].build_ok);
+  EXPECT_FALSE(report.items[0].ok());
+  EXPECT_EQ(report.items[0].failure_reason, "synthetic build failure");
+  EXPECT_TRUE(report.items[1].ok()) << "an error in one task must not "
+                                       "poison its neighbors";
+  EXPECT_EQ(report.ok_count(), 1u);
+  EXPECT_EQ(report.failed_count(), 1u);
+}
+
+TEST(BatchTest, RecordsAggregateAndPerTaskMetrics) {
+  support::metrics::registry().clear();
+  std::vector<BatchTask> tasks;
+  {
+    BatchTask task;
+    task.name = "tmr";
+    task.make_program = [] { return cs::make_tmr({}); };
+    tasks.push_back(std::move(task));
+  }
+  BatchOptions options;
+  options.jobs = 2;
+  options.metrics_prefix = "testbatch";
+  const BatchReport report = run_batch(tasks, options);
+  ASSERT_TRUE(report.items[0].ok());
+  const auto& m = support::metrics::registry();
+  EXPECT_EQ(m.counter("testbatch.tasks"), 1u);
+  EXPECT_EQ(m.counter("testbatch.ok"), 1u);
+  EXPECT_EQ(m.counter("testbatch.failed"), 0u);
+  EXPECT_TRUE(m.has_gauge("testbatch.wall_seconds"));
+  EXPECT_TRUE(m.has_gauge(
+      "testbatch.tmr.lazy (group loop).repair.invariant_states"));
+  // The un-prefixed aggregate keys accumulate across the whole batch.
+  EXPECT_TRUE(m.has_gauge("repair.invariant_states"));
+  support::metrics::registry().clear();
+}
+
+}  // namespace
+}  // namespace lr::repair

@@ -1,0 +1,102 @@
+#include "model_gen.hpp"
+
+#include <string>
+#include <vector>
+
+#include "lang/action.hpp"
+#include "lang/expr.hpp"
+
+namespace lr::testgen {
+
+using lang::Expr;
+using prog::DistributedProgram;
+
+std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
+  auto p = std::make_unique<DistributedProgram>("fuzz");
+  const std::size_t nvars = 2 + rng.below(2);
+  std::vector<sym::VarId> vars;
+  std::vector<std::uint32_t> domains;
+  for (std::size_t v = 0; v < nvars; ++v) {
+    const auto domain = static_cast<std::uint32_t>(2 + rng.below(2));
+    vars.push_back(p->add_variable("v" + std::to_string(v), domain));
+    domains.push_back(domain);
+  }
+
+  auto random_state_expr = [&]() {
+    // Random conjunction/disjunction of var==const literals.
+    Expr e = Expr::var(vars[rng.below(nvars)]) ==
+             static_cast<std::uint32_t>(rng.below(domains[0]));
+    for (std::size_t i = 0; i < 1 + rng.below(2); ++i) {
+      const std::size_t v = rng.below(nvars);
+      const Expr lit = Expr::var(vars[v]) ==
+                       static_cast<std::uint32_t>(rng.below(domains[v]));
+      e = rng.flip() ? (e && lit) : (e || lit);
+    }
+    return e;
+  };
+
+  const std::size_t nproc = 1 + rng.below(3);
+  for (std::size_t j = 0; j < nproc; ++j) {
+    prog::Process proc;
+    proc.name = "p" + std::to_string(j);
+    // Writes: one or two variables; reads: writes + random others.
+    std::vector<bool> writes(nvars, false);
+    writes[rng.below(nvars)] = true;
+    if (rng.chance(1, 3)) writes[rng.below(nvars)] = true;
+    std::vector<bool> reads = writes;
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (rng.flip()) reads[v] = true;
+    }
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (reads[v]) proc.reads.push_back(vars[v]);
+      if (writes[v]) proc.writes.push_back(vars[v]);
+    }
+    const std::size_t nactions = 1 + rng.below(2);
+    for (std::size_t a = 0; a < nactions; ++a) {
+      // Guard over readable variables only (well-formed programs).
+      Expr guard = Expr::bool_const(true);
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (reads[v] && rng.flip()) {
+          guard = guard && (Expr::var(vars[v]) ==
+                            static_cast<std::uint32_t>(rng.below(domains[v])));
+        }
+      }
+      lang::Action action;
+      action.name = "a" + std::to_string(a);
+      action.guard = guard;
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (writes[v] && rng.flip()) {
+          action.assigns.push_back(
+              {vars[v],
+               {Expr::constant(
+                   static_cast<std::uint32_t>(rng.below(domains[v])))}});
+        }
+      }
+      if (action.assigns.empty()) {
+        action.assigns.push_back({proc.writes[0], {Expr::constant(0)}});
+      }
+      proc.actions.push_back(std::move(action));
+    }
+    p->add_process(std::move(proc));
+  }
+
+  const std::size_t nfaults = 1 + rng.below(2);
+  for (std::size_t f = 0; f < nfaults; ++f) {
+    lang::Action fault;
+    fault.name = "f" + std::to_string(f);
+    fault.guard = rng.flip() ? Expr::bool_const(true) : random_state_expr();
+    fault.havoc.push_back(vars[rng.below(nvars)]);
+    p->add_fault(std::move(fault));
+  }
+
+  p->set_invariant(random_state_expr());
+  if (rng.flip()) p->add_bad_states(random_state_expr());
+  if (rng.chance(1, 3)) {
+    const std::size_t v = rng.below(nvars);
+    p->add_bad_transitions(random_state_expr() &&
+                           Expr::next(vars[v]) != Expr::var(vars[v]));
+  }
+  return p;
+}
+
+}  // namespace lr::testgen

@@ -1,0 +1,119 @@
+// Tests for the fixed-size thread pool and the parallel_for helper the
+// batch executor is built on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace lr::support {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWaitIdle) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(3);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilRunningTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    done.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::mutex mutex;
+  std::multiset<std::size_t> seen;
+  parallel_for(200, 4, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(i);
+  });
+  ASSERT_EQ(seen.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(seen.count(i), 1u) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleJobRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  parallel_for(10, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no lock needed: inline execution
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  bool ran = false;
+  parallel_for(0, 8, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, UsesMultipleThreadsWhenAvailable) {
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  parallel_for(64, 4, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  // With 4 workers and 64 sleeping tasks at least two workers must have
+  // participated, even on a single hardware core.
+  EXPECT_GE(ids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lr::support
