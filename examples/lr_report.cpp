@@ -1,0 +1,169 @@
+// Compares two --metrics-json run reports and gates on regressions.
+//
+// Usage:
+//   lr_report BASELINE.json CURRENT.json [options]
+//   lr_report CURRENT.json [options]          (baseline: BENCH_seed.json)
+//
+//   --key=NAME        gate metric (default bench.wall_seconds)
+//   --max-ratio=R     fail when current/baseline of the gate metric
+//                     exceeds R (default 2.0)
+//   --filter=SUBSTR   only list keys containing SUBSTR
+//   --all             list every shared key (default: only keys whose
+//                     ratio moved by >= 10%, plus the gate metric)
+//
+// Prints an aligned diff table (key, baseline, current, ratio) and exits
+// 0 when the gate metric is within bounds, 1 on a regression, 2 on a
+// usage or parse error. CI runs this against the committed BENCH_seed.json
+// so a slowdown in the repair engine fails the build instead of landing
+// silently.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr const char* kDefaultBaseline = "BENCH_seed.json";
+constexpr const char* kDefaultKey = "bench.wall_seconds";
+constexpr double kListThreshold = 0.10;  ///< |ratio - 1| to list by default
+
+/// Flattens the "counters" and "gauges" objects of a metrics report into
+/// one key -> value map. Returns false on unreadable or malformed input.
+bool load_report(const std::string& path, std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lr_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = lr::support::json_parse(buffer.str());
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "lr_report: %s is not a JSON object\n", path.c_str());
+    return false;
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    const lr::support::JsonValue* group = doc->find(section);
+    if (group == nullptr) continue;
+    if (!group->is_object()) {
+      std::fprintf(stderr, "lr_report: %s: \"%s\" is not an object\n",
+                   path.c_str(), section);
+      return false;
+    }
+    for (const auto& [key, value] : group->object) {
+      if (value.is_number()) out[key] = value.number;
+    }
+  }
+  return true;
+}
+
+std::string format_value(double value) {
+  char buffer[64];
+  if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  }
+  return buffer;
+}
+
+std::string format_ratio(double baseline, double current) {
+  if (baseline == 0.0) return current == 0.0 ? "1.00" : "inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", current / baseline);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lr::support::CommandLine cli(argc, argv);
+  if (cli.positional().empty() || cli.positional().size() > 2) {
+    std::fprintf(stderr,
+                 "usage: %s [BASELINE.json] CURRENT.json [--key=NAME]\n"
+                 "       [--max-ratio=R] [--filter=SUBSTR] [--all]\n"
+                 "(one positional compares against %s)\n",
+                 cli.program().c_str(), kDefaultBaseline);
+    return 2;
+  }
+  const bool have_baseline = cli.positional().size() == 2;
+  const std::string baseline_path =
+      have_baseline ? cli.positional()[0] : kDefaultBaseline;
+  const std::string current_path =
+      have_baseline ? cli.positional()[1] : cli.positional()[0];
+  const std::string gate_key = cli.get("key", kDefaultKey);
+  const std::string filter = cli.get("filter", "");
+  const bool all = cli.has("all");
+  const double max_ratio = [&cli] {
+    const std::string text = cli.get("max-ratio", "2.0");
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    return (end != text.c_str() && parsed > 0.0) ? parsed : -1.0;
+  }();
+  if (max_ratio <= 0.0) {
+    std::fprintf(stderr, "lr_report: bad --max-ratio value\n");
+    return 2;
+  }
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> current;
+  if (!load_report(baseline_path, baseline) ||
+      !load_report(current_path, current)) {
+    return 2;
+  }
+
+  lr::support::Table table({"metric", "baseline", "current", "ratio"});
+  std::size_t shared = 0;
+  std::size_t listed = 0;
+  for (const auto& [key, base_value] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) continue;
+    ++shared;
+    if (!filter.empty() && key.find(filter) == std::string::npos) continue;
+    const double ratio =
+        base_value == 0.0 ? (it->second == 0.0 ? 1.0 : HUGE_VAL)
+                          : it->second / base_value;
+    const bool moved = std::fabs(ratio - 1.0) >= kListThreshold;
+    if (!all && !moved && key != gate_key) continue;
+    ++listed;
+    table.add_row({key, format_value(base_value), format_value(it->second),
+                   format_ratio(base_value, it->second)});
+  }
+  std::printf("comparing %s (baseline) vs %s\n", baseline_path.c_str(),
+              current_path.c_str());
+  if (listed == 0) {
+    std::printf("no %s keys to list (%zu shared)\n",
+                filter.empty() ? "moved" : "matching", shared);
+  } else {
+    table.print(std::cout);
+    if (!all && listed < shared) {
+      std::printf("(%zu of %zu shared keys listed; --all for the rest)\n",
+                  listed, shared);
+    }
+  }
+
+  const auto base_gate = baseline.find(gate_key);
+  const auto cur_gate = current.find(gate_key);
+  if (base_gate == baseline.end() || cur_gate == current.end()) {
+    std::fprintf(stderr, "lr_report: gate metric %s missing from %s\n",
+                 gate_key.c_str(),
+                 base_gate == baseline.end() ? baseline_path.c_str()
+                                             : current_path.c_str());
+    return 2;
+  }
+  const double gate_ratio = base_gate->second == 0.0
+                                ? (cur_gate->second == 0.0 ? 1.0 : HUGE_VAL)
+                                : cur_gate->second / base_gate->second;
+  std::printf("gate: %s ratio %.2f (max %.2f) -> %s\n", gate_key.c_str(),
+              gate_ratio, max_ratio, gate_ratio <= max_ratio ? "OK" : "FAIL");
+  return gate_ratio <= max_ratio ? 0 : 1;
+}

@@ -15,10 +15,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "bdd/profile.hpp"
+#include "casestudies/chain.hpp"
 #include "lang/parser.hpp"
 #include "repair/batch.hpp"
 #include "repair/cautious.hpp"
@@ -29,6 +32,7 @@
 #include "repair/verify.hpp"
 #include "support/cli.hpp"
 #include "support/log.hpp"
+#include "support/progress.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -75,6 +79,9 @@ int run_batch_mode(const lr::support::CommandLine& cli,
     task.make_program = [file = path.string()] {
       return lr::lang::parse_program_file(file);
     };
+    // Predicted cost drives longest-first dispatch; the report stays in
+    // file-name order regardless.
+    task.predicted_cost = lr::lang::estimate_state_space_file(path.string());
     tasks.push_back(std::move(task));
   }
 
@@ -144,12 +151,15 @@ int run_batch_mode(const lr::support::CommandLine& cli,
 
 int main(int argc, char** argv) {
   const lr::support::CommandLine cli(argc, argv);
-  if (cli.positional().empty() && !cli.has("batch")) {
+  if (cli.positional().empty() && !cli.has("batch") && !cli.has("chain")) {
     std::printf(
         "usage: %s MODEL.lr [options]\n"
+        "       %s --chain=N [--domain=D] [options]\n"
         "       %s --batch DIR [--jobs=N] [options]\n"
         "  --batch=DIR           repair every DIR/*.lr on a thread pool\n"
         "  --jobs=N              batch worker threads (default: hardware)\n"
+        "  --chain=N             built-in stabilizing chain Sc^N instead of\n"
+        "                        a model file (--domain=D, default 4)\n"
         "  --cautious            use the cautious baseline (default: lazy)\n"
         "  --oneshot             one-shot group quantification (ablation)\n"
         "  --no-heuristic        disable the reachable-states restriction\n"
@@ -158,11 +168,14 @@ int main(int argc, char** argv) {
         "  --export=OUT.lr       write the synthesized model\n"
         "  --no-verify           skip the independent verifier\n"
         "  --stats               print engine statistics (incl. BDD manager)\n"
+        "                        and the per-span BDD attribution table\n"
+        "  --progress[=SECS]     heartbeat lines on stderr every SECS seconds\n"
+        "                        (default 10; LR_PROGRESS env var also works)\n"
         "  --trace-out=FILE      write a Chrome trace-event JSON span trace\n"
         "  --metrics-json=FILE   write a machine-readable JSON run report\n"
         "  --log-level=LEVEL     trace|debug|info|warn|error|off (default\n"
         "                        warn; LR_LOG_LEVEL env var also works)\n",
-        cli.program().c_str(), cli.program().c_str());
+        cli.program().c_str(), cli.program().c_str(), cli.program().c_str());
     return 2;
   }
 
@@ -177,6 +190,18 @@ int main(int argc, char** argv) {
   }
   const std::string trace_path = cli.get("trace-out", "");
   if (!trace_path.empty()) lr::support::trace::start();
+
+  if (cli.has("progress")) {
+    const std::string secs = cli.get("progress", "");
+    lr::support::progress::configure(
+        secs.empty() ? lr::support::progress::kDefaultIntervalSeconds
+                     : std::atof(secs.c_str()));
+  } else {
+    lr::support::progress::init_from_env();
+  }
+  // --stats grows a per-span BDD attribution table; collection must be on
+  // before any BDD work happens.
+  if (cli.has("stats")) lr::bdd::profile::set_enabled(true);
 
   lr::repair::Options options;
   if (cli.has("oneshot")) {
@@ -200,9 +225,19 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<lr::prog::DistributedProgram> program;
   try {
-    program = lr::lang::parse_program_file(cli.positional()[0]);
+    if (cli.has("chain")) {
+      lr::cs::ChainOptions chain;
+      chain.length = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, cli.get_int("chain", 5)));
+      chain.domain = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(2, cli.get_int("domain", 4)));
+      program = lr::cs::make_chain(chain);
+    } else {
+      program = lr::lang::parse_program_file(cli.positional()[0]);
+    }
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(),
+    std::fprintf(stderr, "%s: %s\n",
+                 cli.has("chain") ? "--chain" : cli.positional()[0].c_str(),
                  error.what());
     return 2;
   }
@@ -256,6 +291,13 @@ int main(int argc, char** argv) {
     std::printf("\nengine statistics:\n");
     for (const std::string& line : lr::repair::describe_stats(result.stats)) {
       std::printf("  %s\n", line.c_str());
+    }
+    const lr::bdd::profile::Profiler& profiler =
+        program->space().manager().profiler();
+    if (!profiler.empty()) {
+      std::printf("\nBDD attribution (per trace span):\n");
+      lr::bdd::profile::write_attribution_table(profiler, std::cout);
+      lr::bdd::profile::record_metrics(profiler);
     }
   }
 

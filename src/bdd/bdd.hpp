@@ -3,11 +3,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace lr::bdd {
+
+namespace profile {
+class Profiler;
+}  // namespace profile
 
 /// Index of a node in the manager's node pool. Terminals are 0 (false) and
 /// 1 (true); all other ids denote internal nodes.
@@ -290,6 +295,11 @@ class Manager {
   /// Forces a garbage collection (also runs automatically under pressure).
   void collect_garbage();
 
+  /// This manager's span-attribution profile (created on first use). Hooks
+  /// in the public operations only feed it while profile::enabled(); like
+  /// the manager itself it is single-threaded.
+  [[nodiscard]] profile::Profiler& profiler();
+
   /// Graphviz dot rendering of one function (documentation / debugging).
   [[nodiscard]] std::string to_dot(const Bdd& f, const std::string& name);
 
@@ -391,6 +401,8 @@ class Manager {
 
   std::size_t gc_threshold_;
   bool gc_enabled_ = true;
+
+  std::unique_ptr<profile::Profiler> profiler_;
 
   mutable ManagerStats stats_;
 };

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bdd/profile.hpp"
 #include "support/trace.hpp"
 
 namespace lr::bdd {
@@ -268,6 +269,10 @@ void Manager::mark(NodeId root, std::vector<NodeId>& stack) {
 }
 
 void Manager::collect_garbage() {
+  // Nested inside whatever operation triggered the collection: the depth
+  // guard keeps the outer hook as the sole accountant, so this only charges
+  // for explicitly requested collections.
+  profile::ScopedOp profiled(*this, profile::OpClass::kGc);
   LR_TRACE_SPAN_NAMED(span, "bdd.gc");
   const std::size_t live_before = live_nodes();
   ++stats_.gc_runs;

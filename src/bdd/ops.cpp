@@ -7,10 +7,14 @@
 #include <unordered_set>
 
 #include "bdd/bdd.hpp"
+#include "bdd/profile.hpp"
 
 namespace lr::bdd {
 
 namespace {
+
+using profile::OpClass;
+using profile::ScopedOp;
 /// Checks that both operands live in `mgr` (cheap sanity net in debug).
 inline void check_same_manager(const Manager* mgr, const Bdd& a,
                                const Bdd& b) {
@@ -25,30 +29,35 @@ inline void check_same_manager(const Manager* mgr, const Bdd& a,
 
 Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
   check_same_manager(this, f, g);
+  ScopedOp profiled(*this, OpClass::kApply);
   maybe_gc();
   return wrap(and_rec(f.id(), g.id()));
 }
 
 Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
   check_same_manager(this, f, g);
+  ScopedOp profiled(*this, OpClass::kApply);
   maybe_gc();
   return wrap(or_rec(f.id(), g.id()));
 }
 
 Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
   check_same_manager(this, f, g);
+  ScopedOp profiled(*this, OpClass::kApply);
   maybe_gc();
   return wrap(xor_rec(f.id(), g.id()));
 }
 
 Bdd Manager::apply_diff(const Bdd& f, const Bdd& g) {
   check_same_manager(this, f, g);
+  ScopedOp profiled(*this, OpClass::kApply);
   maybe_gc();
   return wrap(diff_rec(f.id(), g.id()));
 }
 
 Bdd Manager::apply_not(const Bdd& f) {
   assert(f.manager() == this);
+  ScopedOp profiled(*this, OpClass::kApply);
   maybe_gc();
   return wrap(not_rec(f.id()));
 }
@@ -56,6 +65,7 @@ Bdd Manager::apply_not(const Bdd& f) {
 Bdd Manager::apply_ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   check_same_manager(this, f, g);
   assert(h.manager() == this);
+  ScopedOp profiled(*this, OpClass::kIte);
   maybe_gc();
   return wrap(ite_rec(f.id(), g.id(), h.id()));
 }
@@ -201,6 +211,7 @@ NodeId Manager::ite_rec(NodeId f, NodeId g, NodeId h) {
 
 bool Manager::leq(const Bdd& f, const Bdd& g) {
   check_same_manager(this, f, g);
+  ScopedOp profiled(*this, OpClass::kDecide);
   return leq_rec(f.id(), g.id());
 }
 
@@ -225,6 +236,7 @@ bool Manager::leq_rec(NodeId f, NodeId g) {
 
 bool Manager::disjoint(const Bdd& f, const Bdd& g) {
   check_same_manager(this, f, g);
+  ScopedOp profiled(*this, OpClass::kDecide);
   return disjoint_rec(f.id(), g.id());
 }
 
@@ -253,12 +265,14 @@ bool Manager::disjoint_rec(NodeId f, NodeId g) {
 
 Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
   check_same_manager(this, f, cube);
+  ScopedOp profiled(*this, OpClass::kQuantify);
   maybe_gc();
   return wrap(exists_rec(f.id(), cube.id()));
 }
 
 Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
   check_same_manager(this, f, cube);
+  ScopedOp profiled(*this, OpClass::kQuantify);
   maybe_gc();
   return wrap(forall_rec(f.id(), cube.id()));
 }
@@ -266,6 +280,7 @@ Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
 Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   check_same_manager(this, f, g);
   assert(cube.manager() == this);
+  ScopedOp profiled(*this, OpClass::kQuantify);
   maybe_gc();
   return wrap(and_exists_rec(f.id(), g.id(), cube.id()));
 }
@@ -370,6 +385,7 @@ PermId Manager::register_permutation(std::span<const VarIndex> perm) {
 
 Bdd Manager::permute(const Bdd& f, PermId perm) {
   assert(f.manager() == this && perm < permutations_.size());
+  ScopedOp profiled(*this, OpClass::kPermute);
   maybe_gc();
   return wrap(permute_rec(f.id(), perm));
 }
@@ -395,6 +411,7 @@ NodeId Manager::permute_rec(NodeId f, PermId perm) {
 
 Bdd Manager::cofactor(const Bdd& f, VarIndex v, bool value) {
   assert(f.manager() == this && v < num_vars_);
+  ScopedOp profiled(*this, OpClass::kQuantify);
   maybe_gc();
   const Bdd lit = value ? bdd_var(v) : bdd_nvar(v);
   const VarIndex vars[1] = {v};

@@ -1,0 +1,200 @@
+#include "bdd/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/trace.hpp"
+
+namespace lr::bdd::profile {
+
+namespace {
+
+constexpr const char* kUnattributed = "(unattributed)";
+
+std::string percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace
+
+const char* op_class_name(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kApply: return "apply";
+    case OpClass::kIte: return "ite";
+    case OpClass::kQuantify: return "quantify";
+    case OpClass::kDecide: return "decide";
+    case OpClass::kPermute: return "permute";
+    case OpClass::kReorder: return "reorder";
+    case OpClass::kGc: return "gc";
+  }
+  return "?";
+}
+
+std::uint64_t SpanCounters::work_steps() const noexcept {
+  return op(OpClass::kApply).steps + op(OpClass::kIte).steps +
+         op(OpClass::kQuantify).steps;
+}
+
+double SpanCounters::cache_hit_rate() const noexcept {
+  return cache_lookups == 0
+             ? 0.0
+             : static_cast<double>(cache_hits) /
+                   static_cast<double>(cache_lookups);
+}
+
+double SpanCounters::total_seconds() const noexcept {
+  double total = 0.0;
+  for (const PerOp& per : ops) total += per.seconds;
+  return total;
+}
+
+void SpanCounters::accumulate(const SpanCounters& other) {
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    ops[i].calls += other.ops[i].calls;
+    ops[i].steps += other.ops[i].steps;
+    ops[i].seconds += other.ops[i].seconds;
+  }
+  created_nodes += other.created_nodes;
+  unique_hits += other.unique_hits;
+  cache_lookups += other.cache_lookups;
+  cache_hits += other.cache_hits;
+  gc_runs += other.gc_runs;
+  gc_reclaimed += other.gc_reclaimed;
+  peak_nodes = std::max(peak_nodes, other.peak_nodes);
+}
+
+void set_enabled(bool on) {
+  // keep_span_stack is counted, so only flip it on actual transitions.
+  if (detail::g_enabled.exchange(on, std::memory_order_relaxed) == on) return;
+  support::trace::keep_span_stack(on);
+}
+
+SpanCounters& Profiler::bucket(const char* span_name) {
+  if (span_name == nullptr) span_name = kUnattributed;
+  if (span_name == last_name_) return *last_bucket_;
+  SpanCounters& found = buckets_[span_name];
+  last_name_ = span_name;
+  last_bucket_ = &found;
+  return found;
+}
+
+SpanCounters Profiler::totals() const {
+  SpanCounters total;
+  for (const auto& [name, counters] : buckets_) total.accumulate(counters);
+  return total;
+}
+
+void Profiler::clear() {
+  buckets_.clear();
+  last_name_ = nullptr;
+  last_bucket_ = nullptr;
+}
+
+void Profiler::merge(const Profiler& other) {
+  for (const auto& [name, counters] : other.buckets_) {
+    buckets_[name].accumulate(counters);
+  }
+  // The cached pointer may be stale after the map rehash; drop it.
+  last_name_ = nullptr;
+  last_bucket_ = nullptr;
+}
+
+void ScopedOp::charge(double seconds) {
+  const ManagerStats after = mgr_->stats();
+  SpanCounters& bucket =
+      prof_->bucket(support::trace::current_span_name());
+  SpanCounters::PerOp& per = bucket.ops[static_cast<unsigned>(op_)];
+  per.calls += 1;
+  per.steps += after.cache_lookups - before_.cache_lookups;
+  per.seconds += seconds;
+  bucket.created_nodes += after.created_nodes - before_.created_nodes;
+  bucket.unique_hits += after.unique_hits - before_.unique_hits;
+  bucket.cache_lookups += after.cache_lookups - before_.cache_lookups;
+  bucket.cache_hits += after.cache_hits - before_.cache_hits;
+  bucket.gc_runs += after.gc_runs - before_.gc_runs;
+  bucket.gc_reclaimed += after.gc_reclaimed - before_.gc_reclaimed;
+  bucket.peak_nodes = std::max(bucket.peak_nodes, after.peak_nodes);
+}
+
+void write_attribution_table(const Profiler& prof, std::ostream& out) {
+  const SpanCounters total = prof.totals();
+  const double total_work =
+      total.work_steps() == 0 ? 1.0 : static_cast<double>(total.work_steps());
+
+  std::vector<std::pair<std::string, const SpanCounters*>> rows;
+  rows.reserve(prof.buckets().size());
+  for (const auto& [name, counters] : prof.buckets()) {
+    rows.emplace_back(name, &counters);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second->work_steps() != b.second->work_steps()) {
+      return a.second->work_steps() > b.second->work_steps();
+    }
+    return a.first < b.first;  // stable, deterministic tie-break
+  });
+
+  support::Table table({"span", "applies", "quantifies", "decides", "steps",
+                        "work", "cache-hit", "nodes", "time"});
+  const auto add = [&table](const std::string& name, const SpanCounters& c,
+                            double work_fraction) {
+    table.add_row(
+        {name,
+         std::to_string(c.op(OpClass::kApply).calls +
+                        c.op(OpClass::kIte).calls),
+         std::to_string(c.op(OpClass::kQuantify).calls),
+         std::to_string(c.op(OpClass::kDecide).calls),
+         std::to_string(c.work_steps()), percent(work_fraction),
+         percent(c.cache_hit_rate()), std::to_string(c.created_nodes),
+         support::format_duration(c.total_seconds())});
+  };
+  for (const auto& [name, counters] : rows) {
+    add(name, *counters,
+        static_cast<double>(counters->work_steps()) / total_work);
+  }
+  add("TOTAL", total,
+      total.work_steps() == 0 ? 0.0
+                              : static_cast<double>(total.work_steps()) /
+                                    total_work);
+  table.print(out);
+}
+
+void record_metrics(const Profiler& prof, const std::string& prefix) {
+  support::metrics::Registry& registry = support::metrics::registry();
+  for (const auto& [name, c] : prof.buckets()) {
+    const std::string base = prefix + "." + name + ".";
+    registry.add(base + "apply_calls", c.op(OpClass::kApply).calls +
+                                           c.op(OpClass::kIte).calls);
+    registry.add(base + "quantify_calls", c.op(OpClass::kQuantify).calls);
+    registry.add(base + "decide_calls", c.op(OpClass::kDecide).calls);
+    registry.add(base + "permute_calls", c.op(OpClass::kPermute).calls);
+    registry.add(base + "reorder_runs", c.op(OpClass::kReorder).calls);
+    registry.add(base + "gc_runs", c.gc_runs);
+    registry.add(base + "steps", c.work_steps());
+    registry.add(base + "created_nodes", c.created_nodes);
+    registry.set_gauge(base + "cache_hit_rate", c.cache_hit_rate());
+    registry.max_gauge(base + "peak_nodes",
+                       static_cast<double>(c.peak_nodes));
+    registry.set_gauge(base + "seconds", c.total_seconds());
+    registry.set_gauge(base + "reorder_seconds",
+                       c.op(OpClass::kReorder).seconds);
+  }
+}
+
+}  // namespace lr::bdd::profile
+
+namespace lr::bdd {
+
+profile::Profiler& Manager::profiler() {
+  if (!profiler_) profiler_ = std::make_unique<profile::Profiler>();
+  return *profiler_;
+}
+
+}  // namespace lr::bdd

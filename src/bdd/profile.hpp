@@ -1,0 +1,170 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "bdd/bdd.hpp"
+
+namespace lr::bdd::profile {
+
+/// Classes of manager work the profiler attributes separately.
+enum class OpClass : unsigned {
+  kApply = 0,  ///< and / or / xor / diff / not
+  kIte,
+  kQuantify,  ///< exists / forall / and_exists / cofactor
+  kDecide,    ///< leq / disjoint (no result BDD built)
+  kPermute,
+  kReorder,
+  kGc,
+};
+inline constexpr std::size_t kOpClassCount = 7;
+
+[[nodiscard]] const char* op_class_name(OpClass op) noexcept;
+
+/// Work charged to one trace span. `steps` counts compute-cache probes
+/// during the operation — one probe per non-terminal recursion step, so it
+/// measures the symbolic work an operation actually performed, independent
+/// of wall-clock noise.
+struct SpanCounters {
+  struct PerOp {
+    std::uint64_t calls = 0;
+    std::uint64_t steps = 0;
+    double seconds = 0.0;
+  };
+  std::array<PerOp, kOpClassCount> ops{};
+
+  std::uint64_t created_nodes = 0;
+  std::uint64_t unique_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_reclaimed = 0;
+  std::size_t peak_nodes = 0;  ///< manager high-water mark while charged
+
+  [[nodiscard]] const PerOp& op(OpClass c) const noexcept {
+    return ops[static_cast<unsigned>(c)];
+  }
+
+  /// apply + ite + quantify steps: the "how much BDD work" measure used to
+  /// rank spans in the attribution table.
+  [[nodiscard]] std::uint64_t work_steps() const noexcept;
+
+  /// Compute-cache hit rate over everything charged here (0 when no probes).
+  [[nodiscard]] double cache_hit_rate() const noexcept;
+
+  /// Total seconds across all op classes.
+  [[nodiscard]] double total_seconds() const noexcept;
+
+  void accumulate(const SpanCounters& other);
+};
+
+namespace detail {
+/// Global switch. Inline atomic so the ScopedOp constructor compiles to a
+/// load-and-branch when profiling is off (the common case).
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns profiling on/off process-wide. While on, the trace layer's
+/// per-thread span stack is kept alive (trace::keep_span_stack) so counter
+/// deltas can be charged to the innermost span even when no trace is being
+/// collected. Idempotent.
+void set_enabled(bool on);
+
+/// Per-manager profile: counter deltas bucketed by the innermost trace span
+/// active when the operation ran. Like the manager itself, a Profiler is
+/// single-threaded; the batch executor gets one per worker via its
+/// one-manager-per-task rule.
+class Profiler {
+ public:
+  /// The bucket for a span name (nullptr means no span was open; such work
+  /// lands under "(unattributed)"). Creates the bucket on first use.
+  SpanCounters& bucket(const char* span_name);
+
+  [[nodiscard]] const std::map<std::string, SpanCounters>& buckets() const noexcept {
+    return buckets_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return buckets_.empty(); }
+
+  /// Sum over all buckets.
+  [[nodiscard]] SpanCounters totals() const;
+
+  void clear();
+
+  /// Merges another profiler's buckets into this one (aggregating batch
+  /// workers into one report).
+  void merge(const Profiler& other);
+
+ private:
+  friend class ScopedOp;
+
+  int depth_ = 0;  ///< open ScopedOps; only the outermost charges
+
+  // One-entry cache: consecutive ops usually run under the same span, and
+  // span names are string literals, so pointer identity is a cheap first
+  // test before the map lookup.
+  const char* last_name_ = nullptr;
+  SpanCounters* last_bucket_ = nullptr;
+
+  std::map<std::string, SpanCounters> buckets_;
+};
+
+/// RAII hook placed at every public Manager operation entry. Snapshots the
+/// manager's counters, and on destruction charges the delta (and elapsed
+/// time) to the innermost active trace span. Nested hooks (a GC fired from
+/// inside an apply, the sifting loop's GCs) do not charge: the outermost
+/// operation owns the whole delta, so nothing is counted twice.
+class ScopedOp {
+ public:
+  ScopedOp(Manager& mgr, OpClass op) noexcept {
+    if (!enabled()) return;
+    prof_ = &mgr.profiler();
+    if (++prof_->depth_ > 1) return;
+    mgr_ = &mgr;
+    op_ = op;
+    before_ = mgr.stats();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedOp() {
+    if (prof_ == nullptr) return;
+    --prof_->depth_;
+    if (mgr_ == nullptr) return;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    charge(seconds);
+  }
+
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  void charge(double seconds);
+
+  Profiler* prof_ = nullptr;
+  Manager* mgr_ = nullptr;  ///< non-null only when this hook charges
+  OpClass op_ = OpClass::kApply;
+  ManagerStats before_{};
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Renders the per-span attribution table (sorted by work_steps, largest
+/// first, TOTAL row last) for `--stats`. Durations use format_duration so
+/// golden tests can normalize them.
+void write_attribution_table(const Profiler& prof, std::ostream& out);
+
+/// Mirrors the per-span counters into the metrics registry as
+/// `<prefix>.<span>.<metric>` keys (e.g. bdd.program.group.quantify_calls).
+void record_metrics(const Profiler& prof, const std::string& prefix = "bdd");
+
+}  // namespace lr::bdd::profile

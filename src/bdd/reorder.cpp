@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "bdd/profile.hpp"
 #include "support/trace.hpp"
 
 // Dynamic variable reordering (Rudell's sifting).
@@ -72,6 +73,7 @@ std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
 
 std::size_t Manager::reorder_sifting(int max_passes) {
   if (num_vars_ < 2) return live_nodes();
+  profile::ScopedOp profiled(*this, profile::OpClass::kReorder);
   LR_TRACE_SPAN_NAMED(span, "bdd.sift");
   ++stats_.reorder_runs;
   const std::size_t live_before = live_nodes();

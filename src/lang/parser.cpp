@@ -450,4 +450,47 @@ std::unique_ptr<prog::DistributedProgram> parse_program_file(
   return parse_program(buffer.str());
 }
 
+double estimate_state_space(const std::string& source) {
+  // One lexer pass over the declarations only: multiply the domain sizes
+  // of every `var x : lo..hi;` without compiling anything. Malformed input
+  // yields a partial estimate (or -1); the real parse reports the error.
+  double states = 1.0;
+  bool any = false;
+  try {
+    Lexer lex(source);
+    while (lex.peek().kind != Tok::kEnd) {
+      if (lex.peek().kind != Tok::kIdent || lex.peek().text != "var") {
+        lex.take();
+        continue;
+      }
+      lex.take();  // var
+      if (lex.peek().kind != Tok::kIdent) continue;
+      lex.take();  // name
+      if (lex.peek().kind != Tok::kColon) continue;
+      lex.take();
+      if (lex.peek().kind != Tok::kNumber) continue;
+      const double lo = lex.take().number;
+      if (lex.peek().kind != Tok::kDotDot) continue;
+      lex.take();
+      if (lex.peek().kind != Tok::kNumber) continue;
+      const double hi = lex.take().number;
+      if (hi >= lo) {
+        states *= hi - lo + 1.0;
+        any = true;
+      }
+    }
+  } catch (const ParseError&) {
+    // Lexing stopped early; fall through with what was accumulated.
+  }
+  return any ? states : -1.0;
+}
+
+double estimate_state_space_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1.0;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return estimate_state_space(buffer.str());
+}
+
 }  // namespace lr::lang

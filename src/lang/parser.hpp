@@ -53,4 +53,12 @@ class ParseError : public std::runtime_error {
 [[nodiscard]] std::unique_ptr<prog::DistributedProgram> parse_program_file(
     const std::string& path);
 
+/// Cheap state-space estimate: the product of the `var x : lo..hi;`
+/// domain sizes, from a declaration-only lexer pass (no program is built).
+/// Returns -1 when no declaration is found or the file cannot be read.
+/// The batch executor uses this as the predicted task cost for
+/// longest-first dispatch.
+[[nodiscard]] double estimate_state_space(const std::string& source);
+[[nodiscard]] double estimate_state_space_file(const std::string& path);
+
 }  // namespace lr::lang

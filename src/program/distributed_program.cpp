@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "support/trace.hpp"
+
 namespace lr::prog {
 
 DistributedProgram::DistributedProgram(std::string name,
@@ -189,6 +191,7 @@ const bdd::Bdd& DistributedProgram::unreadable_cube(std::size_t j) {
 
 bdd::Bdd DistributedProgram::group(std::size_t j, const bdd::Bdd& delta) {
   compile();
+  LR_TRACE_SPAN("program.group");
   bdd::Manager& mgr = space_.manager();
   // Transitions that change an unreadable variable have an empty group, so
   // restrict first; then close over all *valid* values of the unreadable
@@ -203,6 +206,7 @@ bdd::Bdd DistributedProgram::group(std::size_t j, const bdd::Bdd& delta) {
 bdd::Bdd DistributedProgram::realizable_subset(std::size_t j,
                                                const bdd::Bdd& delta) {
   compile();
+  LR_TRACE_SPAN("program.realizable_subset");
   bdd::Manager& mgr = space_.manager();
   // A transition's group is contained in δ iff δ holds for every valid
   // value of the unreadable variables (held unchanged): one universal

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/log.hpp"
+#include "support/progress.hpp"
 #include "support/trace.hpp"
 
 namespace lr::repair {
@@ -97,8 +98,15 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   bdd::Bdd p1;
   {
   LR_TRACE_SPAN("add_masking.shrink_fixpoint");
+  support::progress::Heartbeat heartbeat("add_masking.shrink");
   while (true) {
       ++stats.addmasking_rounds;
+      support::trace::counter("bdd.live_nodes",
+                              static_cast<double>(mgr.live_nodes()));
+      if (heartbeat.due()) {
+        heartbeat.emit("round " + std::to_string(stats.addmasking_rounds) +
+                       ", live nodes " + std::to_string(mgr.live_nodes()));
+      }
       const bdd::Bdd inv_part = (delta_p & s1 & space.prime(s1)).minus(mt);
       // Proper transitions only: a self-loop outside the invariant would
       // let the program idle there forever, which recovery must rule out.
@@ -165,6 +173,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   stats.recovery_layers = 0;
   {
     LR_TRACE_SPAN("add_masking.recovery_layers");
+    support::progress::Heartbeat heartbeat("add_masking.recovery");
     while (!remaining.is_false()) {
       const bdd::Bdd layer = space.preimage(p1, below) & remaining;
       if (layer.is_false()) break;
@@ -172,6 +181,12 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       below |= layer;
       remaining = remaining.minus(layer);
       ++stats.recovery_layers;
+      support::trace::counter("bdd.live_nodes",
+                              static_cast<double>(mgr.live_nodes()));
+      if (heartbeat.due()) {
+        heartbeat.emit("layer " + std::to_string(stats.recovery_layers) +
+                       ", live nodes " + std::to_string(mgr.live_nodes()));
+      }
     }
   }
 

@@ -1,6 +1,9 @@
 #include "repair/batch.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <exception>
+#include <numeric>
 
 #include "explicit_model/explicit_model.hpp"
 #include "repair/cautious.hpp"
@@ -8,6 +11,7 @@
 #include "repair/report.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
+#include "support/progress.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -83,13 +87,36 @@ BatchReport run_batch(const std::vector<BatchTask>& tasks,
   report.jobs = options.jobs == 0 ? 1 : options.jobs;
   report.items.resize(tasks.size());
 
+  // Dispatch order: predicted-most-expensive first, so a giant instance
+  // cannot be scheduled last and stretch the batch tail (classic LPT
+  // scheduling). stable_sort keeps unknown-cost tasks in task order.
+  // Results still land at their original indices, so the report — and
+  // therefore stdout — is identical under any dispatch permutation.
+  std::vector<std::size_t> dispatch(tasks.size());
+  std::iota(dispatch.begin(), dispatch.end(), std::size_t{0});
+  std::stable_sort(dispatch.begin(), dispatch.end(),
+                   [&tasks](std::size_t a, std::size_t b) {
+                     return tasks[a].predicted_cost > tasks[b].predicted_cost;
+                   });
+
   support::Stopwatch watch;
   {
     LR_TRACE_SPAN_NAMED(span, "batch.run");
     span.attr("tasks", static_cast<std::uint64_t>(tasks.size()));
     span.attr("jobs", static_cast<std::uint64_t>(report.jobs));
-    support::parallel_for(tasks.size(), report.jobs, [&](std::size_t i) {
+    std::atomic<std::size_t> tasks_done{0};
+    support::progress::Heartbeat heartbeat("batch");
+    support::parallel_for(tasks.size(), report.jobs, [&](std::size_t k) {
+      const std::size_t i = dispatch[k];
       report.items[i] = run_task(tasks[i]);
+      const std::size_t done =
+          tasks_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      support::trace::counter("batch.tasks_done",
+                              static_cast<double>(done));
+      if (heartbeat.due()) {
+        heartbeat.emit(std::to_string(done) + "/" +
+                       std::to_string(tasks.size()) + " tasks done");
+      }
     });
   }
   report.wall_seconds = watch.seconds();
@@ -100,7 +127,12 @@ BatchReport run_batch(const std::vector<BatchTask>& tasks,
     support::metrics::Registry& m = support::metrics::registry();
     const std::string prefix =
         options.metrics_prefix.empty() ? "batch" : options.metrics_prefix;
-    for (const BatchItemResult& item : report.items) {
+    for (std::size_t i = 0; i < report.items.size(); ++i) {
+      const BatchItemResult& item = report.items[i];
+      if (tasks[i].predicted_cost >= 0.0) {
+        m.set_gauge(prefix + "." + item.name + ".predicted_states",
+                    tasks[i].predicted_cost);
+      }
       if (!item.build_ok) continue;
       record_run_metrics(item.stats);
       record_run_metrics(item.stats,

@@ -32,6 +32,12 @@ struct BatchTask {
   std::string algorithm_label;
   /// Run the independent verifier on successful repairs.
   bool verify = true;
+  /// Predicted cost (state-space size from lang::estimate_state_space, or
+  /// any monotone proxy). Tasks are *dispatched* most-expensive-first so a
+  /// giant instance cannot start last and stretch the batch tail; result
+  /// order stays task order. Negative means unknown (dispatched last, in
+  /// task order). Recorded as `batch.<name>.predicted_states`.
+  double predicted_cost = -1.0;
 };
 
 /// Outcome of one task. Everything needed for reporting is copied out of

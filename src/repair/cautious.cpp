@@ -4,6 +4,7 @@
 
 #include "support/log.hpp"
 #include "support/metrics.hpp"
+#include "support/progress.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -118,10 +119,18 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
   bdd::Bdd t1 = valid_cur.minus(ms);
   std::size_t refinements = 0;
 
+  support::progress::Heartbeat heartbeat("cautious_repair");
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
     ++result.stats.outer_iterations;
     LR_TRACE_SPAN_NAMED(round_span, "cautious_repair.round");
     round_span.attr("round", static_cast<std::uint64_t>(round));
+    support::trace::counter("repair.deadlock_round",
+                            static_cast<double>(round));
+    if (heartbeat.due()) {
+      heartbeat.emit("round " + std::to_string(round) + ", refinements " +
+                     std::to_string(refinements) + ", live nodes " +
+                     std::to_string(mgr.live_nodes()));
+    }
     LR_LOG(debug) << "[cautious] round=" << round
                   << " s1=" << space.count_states(s1)
                   << " t1=" << space.count_states(t1)

@@ -6,6 +6,7 @@
 #include "repair/realize.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
+#include "support/progress.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -93,10 +94,20 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   }
   const std::vector<bdd::Bdd>& fault_parts = program.fault_action_deltas();
 
+  support::progress::Heartbeat heartbeat("lazy_repair");
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
     ++result.stats.outer_iterations;
     LR_TRACE_SPAN_NAMED(round_span, "lazy_repair.round");
     round_span.attr("round", static_cast<std::uint64_t>(round));
+    support::trace::counter("repair.deadlock_round",
+                            static_cast<double>(round));
+    if (heartbeat.due()) {
+      heartbeat.emit("outer round " + std::to_string(round) +
+                     ", deadlock rounds " +
+                     std::to_string(result.stats.deadlock_rounds) +
+                     ", live nodes " +
+                     std::to_string(space.manager().live_nodes()));
+    }
 
     // Step 1: Add-Masking without realizability constraints.
     support::Stopwatch sw1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "support/progress.hpp"
 #include "support/trace.hpp"
 
 namespace lr::repair {
@@ -56,8 +57,17 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
       }
 
       bdd::Bdd worklist = delta_j_pool & tolerance;
+      support::progress::Heartbeat heartbeat("realize.groups");
       while (!worklist.is_false()) {
         ++stats.group_iterations;
+        support::trace::counter("repair.groups_processed",
+                                static_cast<double>(stats.group_iterations));
+        if (heartbeat.due()) {
+          heartbeat.emit("process " + std::to_string(j) + ", " +
+                         std::to_string(stats.group_iterations) +
+                         " groups, live nodes " +
+                         std::to_string(mgr.live_nodes()));
+        }
         // Line 8: choose one transition.
         const bdd::Bdd chosen = mgr.pick_minterm(worklist, all_bits_cube);
         // Line 9: its group.

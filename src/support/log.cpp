@@ -78,6 +78,17 @@ void set_log_stream(std::ostream* stream) noexcept {
   g_stream = stream;
 }
 
+void log_raw_line(std::string_view line) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  if (g_stream != nullptr) {
+    *g_stream << line << '\n';
+    g_stream->flush();
+  } else {
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()),
+                 line.data());
+  }
+}
+
 LogMessage::LogMessage(LogLevel level) : level_(level) {}
 
 LogMessage::~LogMessage() {

@@ -38,6 +38,12 @@ void init_log_from_env();
 /// receives whole lines; tests point this at a stringstream.
 void set_log_stream(std::ostream* stream) noexcept;
 
+/// Writes one pre-formatted line (no trailing newline needed) to the log
+/// sink under the same io mutex as the logger, so heartbeat lines never
+/// shear against concurrent LR_LOG output. Bypasses the level threshold:
+/// the caller (the progress layer) has its own gate.
+void log_raw_line(std::string_view line);
+
 /// One log statement: collects the streamed message and emits it as a
 /// single "[level] message\n" line on destruction. Construct only via
 /// LR_LOG — the macro performs the level check first.

@@ -1,0 +1,71 @@
+#include "support/progress.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "support/log.hpp"
+
+namespace lr::support::progress {
+
+void configure(double interval_seconds) {
+  const long ms = interval_seconds <= 0.0
+                      ? 0
+                      : static_cast<long>(interval_seconds * 1000.0);
+  // A positive interval that rounds to 0 ms still means "enabled, as fast
+  // as possible" (tests use tiny intervals).
+  detail::g_interval_ms.store(
+      interval_seconds > 0.0 && ms == 0 ? 1 : ms, std::memory_order_relaxed);
+}
+
+void init_from_env() {
+  const char* env = std::getenv("LR_PROGRESS");
+  if (env == nullptr) return;
+  const std::string_view value(env);
+  if (value.empty() || value == "0" || value == "off" || value == "false") {
+    configure(0.0);
+    return;
+  }
+  if (value == "1" || value == "true" || value == "on") {
+    configure(kDefaultIntervalSeconds);
+    return;
+  }
+  char* end = nullptr;
+  const double seconds = std::strtod(env, &end);
+  if (end != env && seconds > 0.0) configure(seconds);
+}
+
+bool enabled() noexcept {
+  return detail::g_interval_ms.load(std::memory_order_relaxed) > 0;
+}
+
+double interval_seconds() noexcept {
+  return static_cast<double>(
+             detail::g_interval_ms.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+namespace {
+
+std::chrono::steady_clock::rep now_ticks() noexcept {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace
+
+Heartbeat::Heartbeat(const char* phase)
+    : phase_(phase), last_(now_ticks()) {}
+
+bool Heartbeat::due() const noexcept {
+  const long ms = detail::g_interval_ms.load(std::memory_order_relaxed);
+  if (ms <= 0) return false;
+  const std::chrono::steady_clock::duration elapsed(
+      now_ticks() - last_.load(std::memory_order_relaxed));
+  return elapsed >= std::chrono::milliseconds(ms);
+}
+
+void Heartbeat::emit(const std::string& detail) {
+  last_.store(now_ticks(), std::memory_order_relaxed);
+  log_raw_line("[progress] " + std::string(phase_) + ": " + detail);
+}
+
+}  // namespace lr::support::progress

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace lr::support::progress {
+
+namespace detail {
+/// Heartbeat interval in milliseconds; 0 disables. Inline atomic so due()
+/// is a load-and-compare on the hot path of fixpoint loops.
+inline std::atomic<long> g_interval_ms{0};
+}  // namespace detail
+
+/// Default interval applied when progress is requested without a value
+/// (`--progress`, `LR_PROGRESS=1`).
+inline constexpr double kDefaultIntervalSeconds = 10.0;
+
+/// Enables heartbeats every `interval_seconds` (<= 0 disables). Thread-safe.
+void configure(double interval_seconds);
+
+/// Applies the LR_PROGRESS environment variable: unset or "0"/"off"/""
+/// leaves progress disabled, "1"/"true"/"on" enables the default interval,
+/// a number enables that many seconds. An explicit configure() wins (call
+/// order: env first, then CLI).
+void init_from_env();
+
+[[nodiscard]] bool enabled() noexcept;
+[[nodiscard]] double interval_seconds() noexcept;
+
+/// Per-phase heartbeat: a rate limiter plus a whole-line stderr emitter.
+/// One Heartbeat lives on the stack of each long-running loop; due() is
+/// cheap enough for per-iteration polling. Emission serializes through the
+/// logger's io mutex, so heartbeats from the batch executor's workers never
+/// shear — and never touch stdout, keeping batch output byte-stable.
+///
+/// Thread-safe: the batch executor shares one Heartbeat across its workers.
+/// The timestamp is a relaxed atomic, so two workers racing through due()
+/// can at worst both emit — an extra whole line, never a torn one.
+class Heartbeat {
+ public:
+  explicit Heartbeat(const char* phase);
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  /// True when progress is enabled and the interval has elapsed since the
+  /// last emit (or construction).
+  [[nodiscard]] bool due() const noexcept;
+
+  /// Emits "[progress] <phase>: <detail>" as one line and resets the timer.
+  void emit(const std::string& detail);
+
+  /// Convenience: emit(detail) if due(). Callers whose detail string is
+  /// expensive to build should gate on due() themselves.
+  void maybe_emit(const std::string& detail) {
+    if (due()) emit(detail);
+  }
+
+ private:
+  const char* phase_;
+  /// steady_clock ticks (time_since_epoch) of the last emit.
+  std::atomic<std::chrono::steady_clock::rep> last_;
+};
+
+}  // namespace lr::support::progress

@@ -22,16 +22,21 @@ struct OpenSpan {
   const char* name = nullptr;
   Clock::time_point start;
   std::uint64_t generation = 0;  ///< start() count when the span opened
+  /// Collection was on when the span opened. A span kept on the stack only
+  /// for attribution (keep_span_stack) must never land in the buffer.
+  bool collect = false;
   /// (key, pre-rendered JSON value) pairs.
   std::vector<std::pair<std::string, std::string>> args;
 };
 
-/// A finished span, ready for rendering.
+/// A finished span or counter sample, ready for rendering.
 struct Event {
   const char* name = nullptr;
+  char phase = 'X';        ///< 'X' complete span, 'C' counter sample
   std::uint32_t lane = 0;  ///< per-thread lane id (Chrome "tid")
   double ts_us = 0.0;      ///< start, microseconds since trace start
-  double dur_us = 0.0;     ///< duration in microseconds
+  double dur_us = 0.0;     ///< duration in microseconds ('X' only)
+  double value = 0.0;      ///< sample value ('C' only)
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -76,14 +81,44 @@ void stop() { detail::g_enabled.store(false, std::memory_order_relaxed); }
 
 std::size_t event_count() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  return g_events.size();
+  std::size_t spans = 0;
+  for (const Event& event : g_events) {
+    if (event.phase == 'X') ++spans;
+  }
+  return spans;
+}
+
+void keep_span_stack(bool keep) noexcept {
+  detail::g_stack_keepers.fetch_add(keep ? 1 : -1,
+                                    std::memory_order_relaxed);
+}
+
+const char* current_span_name() noexcept {
+  return t_open.empty() ? nullptr : t_open.back().name;
+}
+
+void counter(const char* name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Event event;
+  event.name = name;
+  event.phase = 'C';
+  event.lane = this_thread_lane();
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - g_epoch)
+          .count();
+  event.value = value;
+  g_events.push_back(std::move(event));
 }
 
 void Span::begin(const char* name) {
   active_ = true;
   index_ = static_cast<std::uint32_t>(t_open.size());
-  t_open.push_back(OpenSpan{
-      name, Clock::now(), g_generation.load(std::memory_order_relaxed), {}});
+  t_open.push_back(OpenSpan{name,
+                            Clock::now(),
+                            g_generation.load(std::memory_order_relaxed),
+                            enabled(),
+                            {}});
 }
 
 void Span::end() {
@@ -96,6 +131,9 @@ void Span::end() {
   }
   OpenSpan open = std::move(t_open.back());
   t_open.pop_back();
+  // Opened while collection was off (stack kept alive only for profiler
+  // attribution): nothing to record.
+  if (!open.collect) return;
   const auto now = Clock::now();
   std::lock_guard<std::mutex> lock(g_mutex);
   // A start() since begin() reset the buffer and epoch — the span belongs
@@ -137,20 +175,29 @@ void write_chrome_json(std::ostream& out) {
   for (const Event& event : g_events) {
     if (!first) out << ",";
     first = false;
-    out << "\n{\"name\":\"" << json_escape(event.name)
-        << "\",\"cat\":\"lazyrepair\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-        << event.lane << ",\"ts\":" << event.ts_us
-        << ",\"dur\":" << event.dur_us;
-    if (!event.args.empty()) {
-      out << ",\"args\":{";
-      for (std::size_t i = 0; i < event.args.size(); ++i) {
-        if (i > 0) out << ",";
-        out << "\"" << json_escape(event.args[i].first)
-            << "\":" << event.args[i].second;
+    if (event.phase == 'C') {
+      // Counter sample: renders as a stacked-area lane in the viewer. The
+      // arg key doubles as the series name inside the lane.
+      out << "\n{\"name\":\"" << json_escape(event.name)
+          << "\",\"cat\":\"lazyrepair\",\"ph\":\"C\",\"pid\":1,\"tid\":"
+          << event.lane << ",\"ts\":" << event.ts_us
+          << ",\"args\":{\"value\":" << event.value << "}}";
+    } else {
+      out << "\n{\"name\":\"" << json_escape(event.name)
+          << "\",\"cat\":\"lazyrepair\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+          << event.lane << ",\"ts\":" << event.ts_us
+          << ",\"dur\":" << event.dur_us;
+      if (!event.args.empty()) {
+        out << ",\"args\":{";
+        for (std::size_t i = 0; i < event.args.size(); ++i) {
+          if (i > 0) out << ",";
+          out << "\"" << json_escape(event.args[i].first)
+              << "\":" << event.args[i].second;
+        }
+        out << "}";
       }
       out << "}";
     }
-    out << "}";
     if (std::find(lanes.begin(), lanes.end(), event.lane) == lanes.end()) {
       lanes.push_back(event.lane);
     }

@@ -15,6 +15,11 @@ namespace detail {
 /// thread) must observe start()/stop() without tearing; precise ordering
 /// with respect to concurrently opened spans does not matter.
 inline std::atomic<bool> g_enabled{false};
+/// Count of clients (the BDD profiler) that need the per-thread open-span
+/// stack maintained even while no trace is being collected, so that
+/// current_span_name() keeps answering. Counted, not boolean: profiling and
+/// a future second client must not stomp each other's enable/disable.
+inline std::atomic<int> g_stack_keepers{0};
 }  // namespace detail
 
 /// True while a trace is being collected. Use this to guard attribute
@@ -24,6 +29,23 @@ inline std::atomic<bool> g_enabled{false};
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
 
+/// True while spans must be pushed on the per-thread stack: a trace is
+/// being collected, or some client (keep_span_stack) wants attribution.
+[[nodiscard]] inline bool stack_enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed) ||
+         detail::g_stack_keepers.load(std::memory_order_relaxed) > 0;
+}
+
+/// Acquires (true) / releases (false) the per-thread span stack without
+/// collecting events. The BDD profiler uses this so span attribution works
+/// under --stats alone, with no --trace-out.
+void keep_span_stack(bool keep) noexcept;
+
+/// Name of the innermost span currently open on this thread, or nullptr
+/// when none (or when neither tracing nor a stack keeper is active). The
+/// pointer is the string literal the span was created with.
+[[nodiscard]] const char* current_span_name() noexcept;
+
 /// Starts collecting spans (clears any previous buffer). Nesting comes from
 /// span lifetimes; timestamps are microseconds since this call.
 void start();
@@ -31,8 +53,14 @@ void start();
 /// Stops collecting. Buffered events stay available for rendering.
 void stop();
 
-/// Number of completed spans in the buffer.
+/// Number of completed spans in the buffer (counter samples not included).
 [[nodiscard]] std::size_t event_count();
+
+/// Records one sample of a named counter lane ("ph":"C" in the Chrome
+/// trace: live BDD nodes, deadlock rounds, batch tasks done, ...) on this
+/// thread's lane. No-op while collection is off; `name` must outlive the
+/// trace (pass a string literal).
+void counter(const char* name, double value);
 
 /// Renders the buffered spans as a Chrome trace-event JSON document (the
 /// "traceEvents" array format), loadable in chrome://tracing and Perfetto.
@@ -56,7 +84,7 @@ bool write_chrome_json_file(const std::string& path);
 class Span {
  public:
   explicit Span(const char* name) {
-    if (enabled()) begin(name);
+    if (stack_enabled()) begin(name);
   }
   ~Span() {
     if (active_) end();

@@ -1,0 +1,172 @@
+// Unit tests for the per-span BDD profiler: counter deltas must land in
+// the bucket of the innermost active trace span, with exact call counts
+// for a crafted workload, and the whole layer must be a no-op when
+// disabled.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/profile.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace lr::bdd {
+namespace {
+
+using profile::OpClass;
+
+/// Turns profiling on for one test and always back off, so the global
+/// switch never leaks into other tests in this binary.
+struct ProfilingOn {
+  ProfilingOn() { profile::set_enabled(true); }
+  ~ProfilingOn() { profile::set_enabled(false); }
+};
+
+class BddProfileTest : public ::testing::Test {
+ protected:
+  BddProfileTest() {
+    for (int i = 0; i < 6; ++i) vars_.push_back(mgr_.new_var());
+  }
+
+  Manager mgr_;
+  std::vector<VarIndex> vars_;
+};
+
+TEST_F(BddProfileTest, DisabledByDefaultCollectsNothing) {
+  ASSERT_FALSE(profile::enabled());
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  (void)(a & b);
+  (void)mgr_.exists(a & b, mgr_.bdd_var(vars_[0]));
+  EXPECT_TRUE(mgr_.profiler().empty());
+}
+
+TEST_F(BddProfileTest, ChargesExactCallCountsToInnermostSpan) {
+  ProfilingOn guard;
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd c = mgr_.bdd_var(vars_[2]);
+
+  {
+    LR_TRACE_SPAN("profile_test.build");
+    (void)(a & b);        // apply 1
+    (void)(a | c);        // apply 2
+    (void)(b ^ c);        // apply 3
+    (void)a.ite(b, c);    // 1 ite
+  }
+  {
+    LR_TRACE_SPAN("profile_test.quantify");
+    (void)mgr_.exists(a & b, mgr_.bdd_var(vars_[0]));   // quantify 1 (+apply)
+    (void)mgr_.forall(a | c, mgr_.bdd_var(vars_[2]));   // quantify 2 (+apply)
+    (void)mgr_.leq(a, b);                               // 1 decide
+  }
+  (void)(a & c);  // no span open: unattributed apply
+
+  const profile::Profiler& prof = mgr_.profiler();
+  ASSERT_EQ(prof.buckets().size(), 3u) << "build, quantify, (unattributed)";
+
+  const profile::SpanCounters& build =
+      prof.buckets().at("profile_test.build");
+  EXPECT_EQ(build.op(OpClass::kApply).calls, 3u);
+  EXPECT_EQ(build.op(OpClass::kIte).calls, 1u);
+  EXPECT_EQ(build.op(OpClass::kQuantify).calls, 0u);
+
+  const profile::SpanCounters& quantify =
+      prof.buckets().at("profile_test.quantify");
+  EXPECT_EQ(quantify.op(OpClass::kQuantify).calls, 2u);
+  EXPECT_EQ(quantify.op(OpClass::kDecide).calls, 1u);
+  // The a&b / a|c rebuilt inside this span hit the cache but still count
+  // as apply calls here, not in the build span.
+  EXPECT_EQ(quantify.op(OpClass::kApply).calls, 2u);
+
+  const profile::SpanCounters& other = prof.buckets().at("(unattributed)");
+  EXPECT_EQ(other.op(OpClass::kApply).calls, 1u);
+
+  const profile::SpanCounters totals = prof.totals();
+  EXPECT_EQ(totals.op(OpClass::kApply).calls, 6u);
+  EXPECT_EQ(totals.op(OpClass::kIte).calls, 1u);
+  EXPECT_EQ(totals.op(OpClass::kQuantify).calls, 2u);
+  EXPECT_GT(totals.work_steps(), 0u);
+  EXPECT_GT(totals.created_nodes, 0u);
+}
+
+TEST_F(BddProfileTest, ProfileSpansStayOutOfTheTraceBuffer) {
+  // Attribution must work without trace collection — and must not grow the
+  // trace event buffer as a side effect.
+  ProfilingOn guard;
+  const std::size_t before = support::trace::event_count();
+  {
+    LR_TRACE_SPAN("profile_test.silent");
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+  }
+  EXPECT_EQ(support::trace::event_count(), before);
+  EXPECT_EQ(mgr_.profiler()
+                .buckets()
+                .at("profile_test.silent")
+                .op(OpClass::kApply)
+                .calls,
+            1u);
+}
+
+TEST_F(BddProfileTest, AttributionTableRanksByWorkAndEndsWithTotal) {
+  ProfilingOn guard;
+  {
+    LR_TRACE_SPAN("profile_test.heavy");
+    Bdd f = mgr_.bdd_true();
+    for (std::size_t v = 0; v + 1 < vars_.size(); ++v) {
+      f = f & (mgr_.bdd_var(vars_[v]) ^ mgr_.bdd_var(vars_[v + 1]));
+    }
+  }
+  {
+    LR_TRACE_SPAN("profile_test.light");
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+  }
+
+  std::ostringstream table;
+  profile::write_attribution_table(mgr_.profiler(), table);
+  const std::string text = table.str();
+  const std::size_t heavy = text.find("profile_test.heavy");
+  const std::size_t light = text.find("profile_test.light");
+  const std::size_t total = text.find("TOTAL");
+  ASSERT_NE(heavy, std::string::npos) << text;
+  ASSERT_NE(light, std::string::npos) << text;
+  ASSERT_NE(total, std::string::npos) << text;
+  EXPECT_LT(heavy, light) << "rows must be sorted by work, largest first";
+  EXPECT_GT(total, light) << "TOTAL row must come last";
+}
+
+TEST_F(BddProfileTest, RecordMetricsMirrorsBuckets) {
+  ProfilingOn guard;
+  {
+    LR_TRACE_SPAN("profile_test.metrics");
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+  }
+  profile::record_metrics(mgr_.profiler(), "bddprofiletest");
+  support::metrics::Registry& m = support::metrics::registry();
+  EXPECT_EQ(m.counter("bddprofiletest.profile_test.metrics.apply_calls"), 1u);
+  EXPECT_GE(m.gauge("bddprofiletest.profile_test.metrics.peak_nodes"), 1.0);
+}
+
+TEST_F(BddProfileTest, MergeAggregatesAcrossProfilers) {
+  ProfilingOn guard;
+  Manager other;
+  const VarIndex v0 = other.new_var();
+  const VarIndex v1 = other.new_var();
+  {
+    LR_TRACE_SPAN("profile_test.merge");
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+    (void)(other.bdd_var(v0) & other.bdd_var(v1));
+  }
+  profile::Profiler merged;
+  merged.merge(mgr_.profiler());
+  merged.merge(other.profiler());
+  EXPECT_EQ(merged.buckets().at("profile_test.merge").op(OpClass::kApply).calls,
+            2u);
+}
+
+}  // namespace
+}  // namespace lr::bdd

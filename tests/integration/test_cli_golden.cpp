@@ -22,6 +22,8 @@ namespace {
 
 std::string cli_path() { return LR_REPAIR_CLI; }
 
+std::string lr_report_path() { return LR_LR_REPORT; }
+
 std::string golden_dir() { return std::string(LR_SOURCE_DIR) + "/tests/golden"; }
 
 std::string models_dir() { return std::string(LR_SOURCE_DIR) + "/models"; }
@@ -31,9 +33,8 @@ struct CliRun {
   std::string output;  ///< stdout only (stderr carries timing/log noise)
 };
 
-CliRun run_cli(const std::string& args) {
+CliRun run_command(const std::string& command) {
   CliRun run;
-  const std::string command = cli_path() + " " + args + " 2>/dev/null";
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return run;
   std::array<char, 4096> buffer;
@@ -44,6 +45,10 @@ CliRun run_cli(const std::string& args) {
   const int status = pclose(pipe);
   run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return run;
+}
+
+CliRun run_cli(const std::string& args) {
+  return run_command(cli_path() + " " + args + " 2>/dev/null");
 }
 
 /// Replaces duration tokens ("40ms", "0.123ms", "2.01s") with "<time>",
@@ -135,6 +140,82 @@ TEST(CliGoldenTest_Batch, BatchStdoutMatchesGoldenAndIsJobIndependent) {
     stable.replace(at, dir.size(), "<models>");
   }
   expect_matches_golden(stable, "batch.stdout.golden");
+}
+
+TEST(CliGoldenTest_Progress, HeartbeatsNeverTouchStdout) {
+  // A torture interval makes every fixpoint round emit; all of it must go
+  // to stderr, leaving batch stdout byte-identical to a silent run.
+  const CliRun quiet = run_cli("--batch " + models_dir() + " --jobs 2");
+  const CliRun noisy =
+      run_cli("--batch " + models_dir() + " --jobs 2 --progress=0.001");
+  EXPECT_EQ(quiet.exit_code, 0);
+  EXPECT_EQ(noisy.exit_code, 0);
+  EXPECT_EQ(quiet.output, noisy.output);
+}
+
+TEST(CliGoldenTest_Progress, SingleRunHeartbeatsLandOnStderr) {
+  // A built-in chain big enough to outlive the minimum 1ms interval.
+  // Without 2>/dev/null the heartbeat lines are visible — and tagged.
+  const CliRun run = run_command(cli_path() +
+                                 " --chain=12 --domain=4 --no-verify"
+                                 " --progress=0.0001 2>&1 >/dev/null");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("[progress] "), std::string::npos)
+      << "expected at least one heartbeat on stderr:\n"
+      << run.output;
+}
+
+/// Writes a minimal metrics report for the comparator tests.
+std::string write_report(const std::string& name, double wall_seconds,
+                         double rounds) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << "{\n  \"counters\": {\n    \"bdd.gc_runs\": 10,\n"
+      << "    \"repair.rounds\": " << rounds << "\n  },\n"
+      << "  \"gauges\": {\n    \"bdd.peak_nodes\": 1000,\n"
+      << "    \"bench.wall_seconds\": " << wall_seconds << "\n  }\n}\n";
+  return path;
+}
+
+TEST(CliGoldenTest_LrReport, DiffTableMatchesGoldenAndPasses) {
+  const std::string baseline = write_report("lr_report_base.json", 10.0, 4);
+  const std::string current = write_report("lr_report_cur.json", 12.5, 6);
+  const CliRun run = run_command(lr_report_path() + " " + baseline + " " +
+                                 current + " 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  // The header echoes the temp paths; normalize them out.
+  std::string stable = run.output;
+  for (const std::string& path : {baseline, current}) {
+    const std::size_t at = stable.find(path);
+    ASSERT_NE(at, std::string::npos);
+    stable.replace(at, path.size(), "<report>");
+  }
+  expect_matches_golden(stable, "lr_report.golden");
+  std::remove(baseline.c_str());
+  std::remove(current.c_str());
+}
+
+TEST(CliGoldenTest_LrReport, RegressionBeyondMaxRatioFails) {
+  const std::string baseline = write_report("lr_report_base2.json", 10.0, 4);
+  const std::string doctored = write_report("lr_report_bad.json", 30.0, 4);
+  const CliRun run = run_command(lr_report_path() + " " + baseline + " " +
+                                 doctored + " --max-ratio=2.0 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("FAIL"), std::string::npos) << run.output;
+
+  // The same pair passes with a permissive ratio: the gate, not the diff,
+  // decides the exit code.
+  const CliRun lenient = run_command(lr_report_path() + " " + baseline + " " +
+                                     doctored + " --max-ratio=4 2>/dev/null");
+  EXPECT_EQ(lenient.exit_code, 0) << lenient.output;
+
+  // A missing gate metric is loud (usage/parse error), not silently green.
+  const CliRun missing =
+      run_command(lr_report_path() + " " + baseline + " " + doctored +
+                  " --key=no.such.metric 2>/dev/null");
+  EXPECT_EQ(missing.exit_code, 2);
+  std::remove(baseline.c_str());
+  std::remove(doctored.c_str());
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "model_gen.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -11,9 +13,20 @@ namespace lr::testgen {
 using lang::Expr;
 using prog::DistributedProgram;
 
+Topology topology_from_env() {
+  const char* value = std::getenv("LR_FUZZ_TOPOLOGY");
+  if (value != nullptr && std::strcmp(value, "ring") == 0) {
+    return Topology::kRing;
+  }
+  return Topology::kRandom;
+}
+
 std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
+  const Topology topology = topology_from_env();
   auto p = std::make_unique<DistributedProgram>("fuzz");
-  const std::size_t nvars = 2 + rng.below(2);
+  // Ring: one variable per process, so nvars is fixed by nproc below.
+  const std::size_t nvars =
+      topology == Topology::kRing ? 3 + rng.below(2) : 2 + rng.below(2);
   std::vector<sym::VarId> vars;
   std::vector<std::uint32_t> domains;
   for (std::size_t v = 0; v < nvars; ++v) {
@@ -35,17 +48,27 @@ std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
     return e;
   };
 
-  const std::size_t nproc = 1 + rng.below(3);
+  const std::size_t nproc =
+      topology == Topology::kRing ? nvars : 1 + rng.below(3);
   for (std::size_t j = 0; j < nproc; ++j) {
     prog::Process proc;
     proc.name = "p" + std::to_string(j);
-    // Writes: one or two variables; reads: writes + random others.
     std::vector<bool> writes(nvars, false);
-    writes[rng.below(nvars)] = true;
-    if (rng.chance(1, 3)) writes[rng.below(nvars)] = true;
-    std::vector<bool> reads = writes;
-    for (std::size_t v = 0; v < nvars; ++v) {
-      if (rng.flip()) reads[v] = true;
+    std::vector<bool> reads(nvars, false);
+    if (topology == Topology::kRing) {
+      // Process j owns v_j and watches its left neighbor — the directed
+      // ring every token-passing case study lives on.
+      writes[j] = true;
+      reads[j] = true;
+      reads[(j + nvars - 1) % nvars] = true;
+    } else {
+      // Writes: one or two variables; reads: writes + random others.
+      writes[rng.below(nvars)] = true;
+      if (rng.chance(1, 3)) writes[rng.below(nvars)] = true;
+      reads = writes;
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (rng.flip()) reads[v] = true;
+      }
     }
     for (std::size_t v = 0; v < nvars; ++v) {
       if (reads[v]) proc.reads.push_back(vars[v]);

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <latch>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include "support/json.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
+#include "support/progress.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -53,13 +55,16 @@ TEST(ObservabilityThreadsTest, TraceHammerProducesParsableLanes) {
           {
             LR_TRACE_SPAN("hammer.inner");
           }
+          // Counter lanes ride along but must not count as span events.
+          trace::counter("hammer.progress", static_cast<double>(round));
         }
       });
     }
     pool.wait_idle();
   }
   trace::stop();
-  // Two spans per round per thread.
+  // Two spans per round per thread; counter events are excluded on purpose
+  // (event_count feeds span-shaped assertions like this one).
   EXPECT_EQ(trace::event_count(), kThreads * kRoundsPerThread * 2);
 
   const auto doc = json_parse(trace::to_chrome_json());
@@ -71,9 +76,14 @@ TEST(ObservabilityThreadsTest, TraceHammerProducesParsableLanes) {
   // landed on more than one lane for the hammer to have tested anything.
   std::vector<double> lanes;
   std::size_t complete = 0;
+  std::size_t counters = 0;
   for (const JsonValue& event : events->array) {
     const JsonValue* ph = event.find("ph");
     ASSERT_NE(ph, nullptr);
+    if (ph->string == "C") {
+      ++counters;
+      continue;
+    }
     if (ph->string != "X") continue;
     ++complete;
     const JsonValue* tid = event.find("tid");
@@ -84,7 +94,44 @@ TEST(ObservabilityThreadsTest, TraceHammerProducesParsableLanes) {
     }
   }
   EXPECT_EQ(complete, kThreads * kRoundsPerThread * 2);
+  EXPECT_EQ(counters, kThreads * kRoundsPerThread);
   EXPECT_EQ(lanes.size(), kThreads);
+}
+
+TEST(ObservabilityThreadsTest, HeartbeatHammerEmitsWholeLines) {
+  std::ostringstream sink;
+  set_log_stream(&sink);
+  progress::configure(0.001);
+  {
+    // One shared Heartbeat, as in the batch executor: due()/emit() race
+    // across workers, and every resulting line must still be whole.
+    progress::Heartbeat beat("hammer");
+    std::latch gate(kThreads);
+    ThreadPool pool(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      pool.submit([&beat, &gate, t] {
+        start_line(gate);
+        for (std::size_t round = 0; round < kRoundsPerThread; ++round) {
+          beat.maybe_emit("thread " + std::to_string(t) + " round " +
+                          std::to_string(round) + " tail");
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  progress::configure(0.0);
+  set_log_stream(nullptr);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.rfind("[progress] hammer: thread ", 0), 0u) << line;
+    EXPECT_EQ(line.substr(line.size() - 5), " tail") << line;
+  }
+  EXPECT_GT(count, 0u) << "a 1ms interval must fire at least once";
 }
 
 TEST(ObservabilityThreadsTest, MetricsHammerCountsExactly) {

@@ -1,0 +1,123 @@
+// Unit tests for the progress/heartbeat layer: interval gating, the
+// LR_PROGRESS environment knob, and the emitted line format. The interval
+// is process-global, so every test restores the disabled default.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "support/log.hpp"
+#include "support/progress.hpp"
+
+namespace lr::support::progress {
+namespace {
+
+/// Restores "progress disabled" and the default log sink on scope exit.
+struct ProgressReset {
+  ~ProgressReset() {
+    configure(0.0);
+    set_log_stream(nullptr);
+    unsetenv("LR_PROGRESS");
+  }
+};
+
+TEST(ProgressTest, DisabledByDefaultAndConfigurable) {
+  ProgressReset reset;
+  configure(0.0);
+  EXPECT_FALSE(enabled());
+  configure(2.5);
+  EXPECT_TRUE(enabled());
+  EXPECT_DOUBLE_EQ(interval_seconds(), 2.5);
+  configure(-1.0);
+  EXPECT_FALSE(enabled());
+  // A positive interval that rounds below one millisecond still enables.
+  configure(1e-6);
+  EXPECT_TRUE(enabled());
+}
+
+TEST(ProgressTest, EnvKnobParsesOffDefaultAndSeconds) {
+  ProgressReset reset;
+  configure(0.0);
+
+  unsetenv("LR_PROGRESS");
+  init_from_env();
+  EXPECT_FALSE(enabled());
+
+  setenv("LR_PROGRESS", "off", 1);
+  init_from_env();
+  EXPECT_FALSE(enabled());
+
+  setenv("LR_PROGRESS", "1", 1);
+  init_from_env();
+  EXPECT_TRUE(enabled());
+  EXPECT_DOUBLE_EQ(interval_seconds(), kDefaultIntervalSeconds);
+
+  setenv("LR_PROGRESS", "0.5", 1);
+  init_from_env();
+  EXPECT_TRUE(enabled());
+  EXPECT_DOUBLE_EQ(interval_seconds(), 0.5);
+
+  configure(0.25);
+  setenv("LR_PROGRESS", "not-a-number", 1);
+  init_from_env();
+  EXPECT_DOUBLE_EQ(interval_seconds(), 0.25) << "garbage must not reconfigure";
+}
+
+TEST(ProgressTest, HeartbeatGatesOnInterval) {
+  ProgressReset reset;
+  configure(0.0);
+  Heartbeat off("phase");
+  EXPECT_FALSE(off.due()) << "disabled progress never comes due";
+
+  configure(0.001);
+  Heartbeat beat("phase");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(beat.due());
+  beat.emit("tick");
+  EXPECT_FALSE(beat.due()) << "emit must reset the timer";
+
+  // A long interval never comes due within a test's lifetime.
+  configure(3600.0);
+  Heartbeat slow("phase");
+  EXPECT_FALSE(slow.due());
+}
+
+TEST(ProgressTest, EmitWritesOneTaggedLineToTheLogSink) {
+  ProgressReset reset;
+  std::ostringstream sink;
+  set_log_stream(&sink);
+  configure(0.001);
+
+  Heartbeat beat("add_masking.shrink");
+  beat.emit("round 3, live nodes 1234");
+  beat.emit("round 4, live nodes 1300");
+  set_log_stream(nullptr);
+
+  EXPECT_EQ(sink.str(),
+            "[progress] add_masking.shrink: round 3, live nodes 1234\n"
+            "[progress] add_masking.shrink: round 4, live nodes 1300\n");
+}
+
+TEST(ProgressTest, MaybeEmitHonorsTheGate) {
+  ProgressReset reset;
+  std::ostringstream sink;
+  set_log_stream(&sink);
+
+  configure(3600.0);
+  Heartbeat beat("phase");
+  beat.maybe_emit("should not appear");
+  EXPECT_TRUE(sink.str().empty());
+
+  configure(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  beat.maybe_emit("should appear");
+  set_log_stream(nullptr);
+  EXPECT_EQ(sink.str(), "[progress] phase: should appear\n");
+}
+
+}  // namespace
+}  // namespace lr::support::progress
