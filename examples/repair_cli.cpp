@@ -6,18 +6,23 @@
 //              [--level=masking|failsafe|nonmasking]
 //              [--print-program] [--no-verify] [--stats]
 //              [--trace-out=FILE] [--metrics-json=FILE] [--log-level=LEVEL]
-//   repair_cli --batch DIR [--jobs=N] [shared options]
+//   repair_cli --batch DIR [--jobs=N] [--resume] [--manifest=FILE]
+//              [--task-timeout=SECS] [--retries=N] [shared options]
+//
+// The flag table lives in src/repair/cli_spec.cpp (single source of truth
+// for --help, unknown-flag rejection and the README table; sync is
+// regression-tested).
 //
 // Batch mode repairs every DIR/*.lr concurrently on a fixed-size thread
 // pool (one BDD manager per task) and prints one deterministic per-model
-// report: the stdout of `--jobs 8` is byte-identical to `--jobs 1`
-// (timing goes to stderr and the metrics report only).
+// report: the stdout of `--jobs 8` is byte-identical to `--jobs 1`, and the
+// stdout of a killed-and-resumed sweep is byte-identical to an
+// uninterrupted one (timing goes to stderr and the metrics report only).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 
 #include "bdd/profile.hpp"
@@ -25,6 +30,7 @@
 #include "lang/parser.hpp"
 #include "repair/batch.hpp"
 #include "repair/cautious.hpp"
+#include "repair/cli_spec.hpp"
 #include "repair/describe.hpp"
 #include "repair/export.hpp"
 #include "repair/lazy.hpp"
@@ -65,6 +71,38 @@ int run_batch_mode(const lr::support::CommandLine& cli,
   }
   std::sort(models.begin(), models.end());
 
+  lr::repair::BatchOptions batch_options;
+  batch_options.jobs = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, cli.get_int("jobs",
+                     static_cast<std::int64_t>(
+                         lr::support::ThreadPool::hardware_threads()))));
+  batch_options.task_timeout_seconds =
+      std::atof(cli.get("task-timeout", "0").c_str());
+  batch_options.task_retries = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("retries", 0)));
+  batch_options.resume = cli.has("resume");
+  // Checkpointing is opt-in (--resume or --manifest): a plain batch run
+  // writes nothing next to the models.
+  if (batch_options.resume || cli.has("manifest")) {
+    batch_options.manifest_path = cli.get(
+        "manifest", (fs::path(dir) / "batch.manifest.json").string());
+  }
+
+  // Repaired-model exports back resume validation; they live in a
+  // subdirectory, which the (non-recursive) model enumeration above never
+  // picks up.
+  std::string export_dir;
+  if (!batch_options.manifest_path.empty()) {
+    export_dir = cli.get("export-dir", (fs::path(dir) / "repaired").string());
+    std::error_code mk_ec;
+    fs::create_directories(export_dir, mk_ec);
+    if (mk_ec) {
+      std::fprintf(stderr, "cannot create export dir %s: %s\n",
+                   export_dir.c_str(), mk_ec.message().c_str());
+      return 2;
+    }
+  }
+
   const bool cautious = cli.has("cautious");
   const bool verify = !cli.has("no-verify");
   std::vector<lr::repair::BatchTask> tasks;
@@ -82,14 +120,14 @@ int run_batch_mode(const lr::support::CommandLine& cli,
     // Predicted cost drives longest-first dispatch; the report stays in
     // file-name order regardless.
     task.predicted_cost = lr::lang::estimate_state_space_file(path.string());
+    task.input_path = path.string();
+    if (!export_dir.empty()) {
+      task.export_path =
+          (fs::path(export_dir) / (task.name + ".lr")).string();
+    }
     tasks.push_back(std::move(task));
   }
 
-  lr::repair::BatchOptions batch_options;
-  batch_options.jobs = static_cast<std::size_t>(std::max<std::int64_t>(
-      1, cli.get_int("jobs",
-                     static_cast<std::int64_t>(
-                         lr::support::ThreadPool::hardware_threads()))));
   const lr::repair::BatchReport report =
       lr::repair::run_batch(tasks, batch_options);
 
@@ -125,10 +163,26 @@ int run_batch_mode(const lr::support::CommandLine& cli,
   }
   std::printf("\nbatch summary: %zu/%zu ok\n", report.ok_count(),
               report.items.size());
+  if (report.failed_count() > 0) {
+    // One line, task order, deterministic: scripts can grep it and a
+    // resumed sweep prints the same line as an uninterrupted one.
+    std::string failures;
+    for (const lr::repair::BatchItemResult& item : report.items) {
+      if (item.ok()) continue;
+      if (!failures.empty()) failures += "; ";
+      failures += item.name + " (" + item.status() + ")";
+    }
+    std::printf("batch failures: %s\n", failures.c_str());
+  }
   // Timing is real but nondeterministic; stderr keeps stdout byte-stable
-  // across --jobs values.
+  // across --jobs values and across resume.
   std::fprintf(stderr, "batch wall time: %.3fs (jobs=%zu)\n",
                report.wall_seconds, report.jobs);
+  if (batch_options.resume) {
+    std::fprintf(stderr, "batch resume: %zu/%zu tasks skipped (manifest %s)\n",
+                 report.skipped_count(), report.items.size(),
+                 batch_options.manifest_path.c_str());
+  }
 
   bool reports_ok = true;
   if (!trace_path.empty()) {
@@ -151,31 +205,26 @@ int run_batch_mode(const lr::support::CommandLine& cli,
 
 int main(int argc, char** argv) {
   const lr::support::CommandLine cli(argc, argv);
+  if (cli.has("help")) {
+    std::fputs(lr::repair::repair_cli_usage(cli.program()).c_str(), stdout);
+    return 0;
+  }
+  // Reject typos instead of silently ignoring them: every accepted flag is
+  // declared in repair_cli_flag_specs().
+  for (const std::string& name : cli.option_names()) {
+    const auto& specs = lr::repair::repair_cli_flag_specs();
+    const bool known =
+        std::any_of(specs.begin(), specs.end(),
+                    [&name](const lr::support::FlagSpec& spec) {
+                      return spec.name == name;
+                    });
+    if (!known) {
+      std::fprintf(stderr, "unknown option --%s (see --help)\n", name.c_str());
+      return 2;
+    }
+  }
   if (cli.positional().empty() && !cli.has("batch") && !cli.has("chain")) {
-    std::printf(
-        "usage: %s MODEL.lr [options]\n"
-        "       %s --chain=N [--domain=D] [options]\n"
-        "       %s --batch DIR [--jobs=N] [options]\n"
-        "  --batch=DIR           repair every DIR/*.lr on a thread pool\n"
-        "  --jobs=N              batch worker threads (default: hardware)\n"
-        "  --chain=N             built-in stabilizing chain Sc^N instead of\n"
-        "                        a model file (--domain=D, default 4)\n"
-        "  --cautious            use the cautious baseline (default: lazy)\n"
-        "  --oneshot             one-shot group quantification (ablation)\n"
-        "  --no-heuristic        disable the reachable-states restriction\n"
-        "  --level=LEVEL         masking|failsafe|nonmasking (default masking)\n"
-        "  --print-program       print the synthesized guarded commands\n"
-        "  --export=OUT.lr       write the synthesized model\n"
-        "  --no-verify           skip the independent verifier\n"
-        "  --stats               print engine statistics (incl. BDD manager)\n"
-        "                        and the per-span BDD attribution table\n"
-        "  --progress[=SECS]     heartbeat lines on stderr every SECS seconds\n"
-        "                        (default 10; LR_PROGRESS env var also works)\n"
-        "  --trace-out=FILE      write a Chrome trace-event JSON span trace\n"
-        "  --metrics-json=FILE   write a machine-readable JSON run report\n"
-        "  --log-level=LEVEL     trace|debug|info|warn|error|off (default\n"
-        "                        warn; LR_LOG_LEVEL env var also works)\n",
-        cli.program().c_str(), cli.program().c_str(), cli.program().c_str());
+    std::fputs(lr::repair::repair_cli_usage(cli.program()).c_str(), stdout);
     return 2;
   }
 
@@ -245,10 +294,21 @@ int main(int argc, char** argv) {
   std::printf("model: %s (%.3g states)\n", program->name().c_str(),
               program->space().state_space_size());
 
+  const double task_timeout = std::atof(cli.get("task-timeout", "0").c_str());
+  if (task_timeout > 0.0) {
+    options.cancel = lr::repair::CancelToken::with_timeout(task_timeout);
+  }
+
   lr::support::Stopwatch watch;
-  const lr::repair::RepairResult result =
-      cli.has("cautious") ? lr::repair::cautious_repair(*program, options)
-                          : lr::repair::lazy_repair(*program, options);
+  lr::repair::RepairResult result;
+  try {
+    result = cli.has("cautious") ? lr::repair::cautious_repair(*program, options)
+                                 : lr::repair::lazy_repair(*program, options);
+  } catch (const lr::repair::Cancelled&) {
+    std::printf("repair failed: timed out (task-timeout %.3gs)\n",
+                task_timeout);
+    return 1;
+  }
 
   lr::repair::record_run_metrics(result.stats);
   const std::string metrics_path = cli.get("metrics-json", "");
@@ -313,13 +373,11 @@ int main(int argc, char** argv) {
 
   const std::string export_path = cli.get("export", "");
   if (!export_path.empty()) {
-    std::ofstream out(export_path);
-    if (!out) {
+    if (!lr::repair::export_model_file(*program, result, export_path)) {
       std::fprintf(stderr, "cannot write %s\n", export_path.c_str());
       write_reports();
       return 1;
     }
-    out << lr::repair::export_model(*program, result);
     std::printf("\nsynthesized model written to %s\n", export_path.c_str());
   }
 

@@ -79,6 +79,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   {
     LR_TRACE_SPAN("add_masking.ms_fixpoint");
     while (true) {
+      throw_if_cancelled(options.cancel);
       const bdd::Bdd grown = (ms | space.preimage(faults, ms)) & context;
       if (grown == ms) break;
       ms = grown;
@@ -100,6 +101,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   LR_TRACE_SPAN("add_masking.shrink_fixpoint");
   support::progress::Heartbeat heartbeat("add_masking.shrink");
   while (true) {
+      throw_if_cancelled(options.cancel);
       ++stats.addmasking_rounds;
       support::trace::counter("bdd.live_nodes",
                               static_cast<double>(mgr.live_nodes()));
@@ -175,6 +177,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
     LR_TRACE_SPAN("add_masking.recovery_layers");
     support::progress::Heartbeat heartbeat("add_masking.recovery");
     while (!remaining.is_false()) {
+      throw_if_cancelled(options.cancel);
       const bdd::Bdd layer = space.preimage(p1, below) & remaining;
       if (layer.is_false()) break;
       added |= p1 & layer & space.prime(below);

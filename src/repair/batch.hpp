@@ -38,6 +38,15 @@ struct BatchTask {
   /// order stays task order. Negative means unknown (dispatched last, in
   /// task order). Recorded as `batch.<name>.predicted_states`.
   double predicted_cost = -1.0;
+  /// Source model file backing make_program. Hashed into the checkpoint
+  /// manifest so --resume can detect edited inputs; empty disables resume
+  /// for this task (it always re-runs).
+  std::string input_path;
+  /// Where to write the repaired model on success (atomically). Required
+  /// for the task to be skippable on resume: the validator re-parses and
+  /// re-verifies this file instead of trusting the manifest. Empty
+  /// disables the export.
+  std::string export_path;
 };
 
 /// Outcome of one task. Everything needed for reporting is copied out of
@@ -56,10 +65,27 @@ struct BatchItemResult {
   bool verified = false;            ///< the verifier ran
   bool verify_ok = false;
   std::vector<std::string> verify_failures;
+  /// How many times the task ran (1 + retries used; 0 when skipped on
+  /// resume with the manifest's recorded count unavailable).
+  std::size_t attempts = 0;
+  /// The final attempt hit the --task-timeout deadline (repair::Cancelled).
+  bool timed_out = false;
+  /// The task did not run: its manifest row and exported repaired model
+  /// validated on resume, and the fields above were reprinted from the
+  /// manifest. `seconds` is the *recorded* wall time of the original run.
+  bool skipped = false;
+  /// Where the repaired model was exported ("" when no export happened).
+  std::string export_path;
 
   /// Repair succeeded and verification (if run) passed.
   [[nodiscard]] bool ok() const noexcept {
     return build_ok && success && (!verified || verify_ok);
+  }
+
+  /// Manifest status string: "ok", "timeout" or "failed".
+  [[nodiscard]] const char* status() const noexcept {
+    if (timed_out) return "timeout";
+    return ok() ? "ok" : "failed";
   }
 };
 
@@ -75,6 +101,25 @@ struct BatchOptions {
   /// Dotted prefix for per-task metric keys:
   /// "<prefix>.<name>.<algorithm>.repair.*".
   std::string metrics_prefix = "batch";
+  /// Cooperative per-task deadline in seconds (<= 0: none). Checked at
+  /// fixpoint-round granularity inside the repair algorithms via
+  /// Options::cancel; a single image/preimage is never interrupted, so the
+  /// observed overrun is one BDD operation, not one task.
+  double task_timeout_seconds = 0.0;
+  /// Extra attempts for tasks that time out or throw (honest repair
+  /// failures — result.success == false — are deterministic and are never
+  /// retried). Total attempts = 1 + task_retries.
+  std::size_t task_retries = 0;
+  /// Checkpoint manifest path; empty disables checkpointing. When set, the
+  /// manifest is rewritten atomically after every completed task, so a
+  /// killed sweep can resume from its last finished task.
+  std::string manifest_path;
+  /// Skip tasks whose manifest row is status "ok", whose input hash and
+  /// options fingerprint still match, and whose exported repaired model
+  /// parses and passes verify_tolerant_model. Anything stale, missing or
+  /// failed re-runs. A missing/corrupt manifest is a cold start, not an
+  /// error.
+  bool resume = false;
 };
 
 struct BatchReport {
@@ -85,6 +130,8 @@ struct BatchReport {
 
   [[nodiscard]] std::size_t ok_count() const noexcept;
   [[nodiscard]] std::size_t failed_count() const noexcept;
+  /// Tasks skipped on resume (their manifest row validated).
+  [[nodiscard]] std::size_t skipped_count() const noexcept;
 };
 
 /// Runs every task, `options.jobs` at a time, on a fixed-size thread pool.

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace lr::repair {
+
+/// Thrown by the repair algorithms when their Options carry an expired
+/// CancelToken. Derives from std::runtime_error so generic catch sites
+/// (the batch executor's per-task boundary, test harnesses) still capture
+/// the message; the batch executor catches it *specifically* to classify
+/// the task as timed out and make it eligible for retry.
+class Cancelled : public std::runtime_error {
+ public:
+  explicit Cancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cooperative cancellation for one repair run. The token is checked at
+/// fixpoint-round granularity — once per outer repair round, Add-Masking
+/// shrink round, recovery layer and Algorithm-2 group iteration — so a
+/// cancelled run stops within one symbolic step, not one whole repair.
+/// (A single image/preimage computation is never interrupted; see
+/// DESIGN.md "Robustness" for the contract.)
+///
+/// Two triggers, combinable:
+///  * an explicit cancel() from any thread (the flag is atomic), and
+///  * a wall-clock deadline fixed at construction via with_timeout().
+///
+/// Tokens are shared_ptr-owned so an Options value can be copied freely
+/// (the batch executor copies per attempt) while every copy observes the
+/// same flag.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Token whose deadline is `seconds` from now; <= 0 means no deadline
+  /// (the token then only expires via cancel()).
+  [[nodiscard]] static std::shared_ptr<CancelToken> with_timeout(
+      double seconds) {
+    auto token = std::make_shared<CancelToken>();
+    if (seconds > 0.0) {
+      token->deadline_ticks_.store(
+          (std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(seconds)))
+              .time_since_epoch()
+              .count(),
+          std::memory_order_relaxed);
+      token->has_deadline_.store(true, std::memory_order_relaxed);
+    }
+    return token;
+  }
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called or the deadline has passed. The
+  /// deadline branch latches into the cancelled flag so later checks are a
+  /// single atomic load.
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_.load(std::memory_order_relaxed)) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    if (now.count() < deadline_ticks_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::chrono::steady_clock::rep> deadline_ticks_{0};
+};
+
+/// The per-round check the algorithm loops call: throws Cancelled when the
+/// token exists and has expired. Null tokens (the default) cost one
+/// pointer compare.
+inline void throw_if_cancelled(const CancelToken* token) {
+  if (token != nullptr && token->expired()) {
+    throw Cancelled("repair cancelled: task deadline exceeded");
+  }
+}
+
+inline void throw_if_cancelled(const std::shared_ptr<CancelToken>& token) {
+  throw_if_cancelled(token.get());
+}
+
+}  // namespace lr::repair

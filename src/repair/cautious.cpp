@@ -56,6 +56,7 @@ bdd::Bdd tolerant_groups(prog::DistributedProgram& program, std::size_t j,
   bdd::Bdd pool = candidate & zone;
   bdd::Bdd accepted = space.bdd_false();
   while (!pool.is_false()) {
+    throw_if_cancelled(options.cancel);
     ++stats.group_iterations;
     const bdd::Bdd chosen = mgr.pick_minterm(pool, all_bits);
     const bdd::Bdd group = program.group(j, chosen);
@@ -121,6 +122,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
 
   support::progress::Heartbeat heartbeat("cautious_repair");
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
+    throw_if_cancelled(options.cancel);
     ++result.stats.outer_iterations;
     LR_TRACE_SPAN_NAMED(round_span, "cautious_repair.round");
     round_span.attr("round", static_cast<std::uint64_t>(round));
@@ -178,6 +180,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     const bdd::Bdd p1 = inv_all | inv_stutter | rec_all;
     bdd::Bdd t2 = t1;
     while (true) {
+      throw_if_cancelled(options.cancel);
       bdd::Bdd can_recover = s1 & t2;
       while (true) {
         const bdd::Bdd grown =

@@ -1,0 +1,61 @@
+#include "repair/cli_spec.hpp"
+
+namespace lr::repair {
+
+const std::vector<support::FlagSpec>& repair_cli_flag_specs() {
+  static const std::vector<support::FlagSpec> specs = {
+      {"batch", "DIR", "repair every DIR/*.lr on a thread pool"},
+      {"jobs", "N", "batch worker threads (default: hardware)"},
+      {"resume", "",
+       "batch: skip tasks whose checkpoint manifest row and\n"
+       "exported repaired model still validate; re-run the rest"},
+      {"manifest", "FILE",
+       "batch checkpoint manifest path (default\n"
+       "DIR/batch.manifest.json; implies checkpointing)"},
+      {"export-dir", "OUTDIR",
+       "batch: directory for repaired-model exports\n"
+       "(default DIR/repaired when checkpointing)"},
+      {"task-timeout", "SECS",
+       "per-task cooperative deadline, checked at\n"
+       "fixpoint-round granularity (default: none)"},
+      {"retries", "N",
+       "re-run a task up to N extra times after a timeout\n"
+       "or crash (default 0; honest failures never retry)"},
+      {"chain", "N",
+       "built-in stabilizing chain Sc^N instead of a model\n"
+       "file (--domain=D, default 4)"},
+      {"domain", "D", "value domain for --chain (default 4)"},
+      {"cautious", "", "use the cautious baseline (default: lazy)"},
+      {"oneshot", "", "one-shot group quantification (ablation)"},
+      {"no-heuristic", "", "disable the reachable-states restriction"},
+      {"level", "LEVEL", "masking|failsafe|nonmasking (default masking)"},
+      {"print-program", "", "print the synthesized guarded commands"},
+      {"export", "OUT.lr", "write the synthesized model"},
+      {"no-verify", "", "skip the independent verifier"},
+      {"stats", "",
+       "print engine statistics (incl. BDD manager) and the\n"
+       "per-span BDD attribution table"},
+      {"progress", "SECS",
+       "heartbeat lines on stderr every SECS seconds\n"
+       "(default 10; LR_PROGRESS env var also works)"},
+      {"trace-out", "FILE", "write a Chrome trace-event JSON span trace"},
+      {"metrics-json", "FILE", "write a machine-readable JSON run report"},
+      {"log-level", "LEVEL",
+       "trace|debug|info|warn|error|off (default warn;\n"
+       "LR_LOG_LEVEL env var also works)"},
+      {"help", "", "print this help and exit"},
+  };
+  return specs;
+}
+
+std::string repair_cli_usage(const std::string& program) {
+  std::string out;
+  out += "usage: " + program + " MODEL.lr [options]\n";
+  out += "       " + program + " --chain=N [--domain=D] [options]\n";
+  out += "       " + program +
+         " --batch DIR [--jobs=N] [--resume] [options]\n";
+  out += support::format_flag_help(repair_cli_flag_specs());
+  return out;
+}
+
+}  // namespace lr::repair

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+
+namespace lr::repair {
+
+/// The full flag table of the repair_cli binary — the single source of
+/// truth its --help text, its unknown-flag rejection and the README flag
+/// table are all generated from / checked against (the sync is enforced by
+/// tests/support/test_cli_flags.cpp). Lives in the library, not in the
+/// binary, so tests can link it.
+[[nodiscard]] const std::vector<support::FlagSpec>& repair_cli_flag_specs();
+
+/// The complete usage/--help text for repair_cli (`program` is argv[0]).
+[[nodiscard]] std::string repair_cli_usage(const std::string& program);
+
+}  // namespace lr::repair

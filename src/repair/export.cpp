@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "support/fs.hpp"
+
 namespace lr::repair {
 
 namespace {
@@ -182,6 +184,11 @@ std::string export_model(prog::DistributedProgram& program,
     out << "bad_transition " << e.to_string(space) << ";\n";
   }
   return out.str();
+}
+
+bool export_model_file(prog::DistributedProgram& program,
+                       const RepairResult& result, const std::string& path) {
+  return support::write_file_atomic(path, export_model(program, result));
 }
 
 }  // namespace lr::repair

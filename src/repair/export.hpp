@@ -20,4 +20,11 @@ namespace lr::repair {
 [[nodiscard]] std::string export_model(prog::DistributedProgram& program,
                                        const RepairResult& result);
 
+/// export_model() written to `path` atomically (write-temp-then-rename, see
+/// support::write_file_atomic): a crash mid-export leaves either the old
+/// file or the new one, never a torn model. Returns false on IO failure.
+[[nodiscard]] bool export_model_file(prog::DistributedProgram& program,
+                                     const RepairResult& result,
+                                     const std::string& path);
+
 }  // namespace lr::repair

@@ -22,11 +22,13 @@ namespace {
 /// original behavior as a last resort) so realizability is preserved.
 void eliminate_livelocks(prog::DistributedProgram& program,
                          const bdd::Bdd& invariant, const bdd::Bdd& span,
-                         std::vector<bdd::Bdd>& deltas) {
+                         std::vector<bdd::Bdd>& deltas,
+                         const Options& options) {
   LR_TRACE_SPAN("lazy_repair.eliminate_livelocks");
   sym::Space& space = program.space();
   const bdd::Bdd outside = span.minus(invariant);
   for (std::size_t pass = 0; pass < 2 * deltas.size() + 2; ++pass) {
+    throw_if_cancelled(options.cancel);
     bdd::Bdd actions = space.bdd_false();
     for (const bdd::Bdd& dj : deltas) actions |= dj;
     bdd::Bdd cycle_states = outside;
@@ -71,6 +73,8 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
         std::max(result.stats.peak_bdd_nodes, result.stats.bdd.peak_nodes);
   };
 
+  throw_if_cancelled(options.cancel);
+
   if (options.sift_before_repair) {
     (void)program.program_delta();  // compile everything first
     (void)space.manager().reorder_sifting();
@@ -96,6 +100,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
 
   support::progress::Heartbeat heartbeat("lazy_repair");
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
+    throw_if_cancelled(options.cancel);
     ++result.stats.outer_iterations;
     LR_TRACE_SPAN_NAMED(round_span, "lazy_repair.round");
     round_span.attr("round", static_cast<std::uint64_t>(round));
@@ -135,7 +140,8 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     std::vector<bdd::Bdd> deltas =
         realize(program, step1.delta, tolerance, options, result.stats);
     if (options.level != ToleranceLevel::kFailsafe) {
-      eliminate_livelocks(program, step1.invariant, tolerance, deltas);
+      eliminate_livelocks(program, step1.invariant, tolerance, deltas,
+                          options);
     }
 
     // Reachable span of the realized program (⊆ tolerance by

@@ -38,6 +38,7 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
     bdd::Bdd delta_j_pool = proper & program.respects_write(j);
     bdd::Bdd accepted = space.bdd_false();
 
+    throw_if_cancelled(options.cancel);
     if (options.group_method == GroupMethod::kOneShot) {
       // Equivalent one-pass formulation: keep exactly the transitions whose
       // whole group is present, then restrict to groups that carry span
@@ -59,6 +60,7 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
       bdd::Bdd worklist = delta_j_pool & tolerance;
       support::progress::Heartbeat heartbeat("realize.groups");
       while (!worklist.is_false()) {
+        throw_if_cancelled(options.cancel);
         ++stats.group_iterations;
         support::trace::counter("repair.groups_processed",
                                 static_cast<double>(stats.group_iterations));

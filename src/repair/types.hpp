@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "repair/cancel.hpp"
 
 namespace lr::repair {
 
@@ -60,6 +62,13 @@ struct Options {
   /// Bound on Algorithm 1's outer repeat loop (defensive; case studies
   /// converge in 1-2 iterations).
   std::size_t max_outer_iterations = 64;
+
+  /// Cooperative cancellation: when set, the lazy/cautious/add_masking/
+  /// realize loops call throw_if_cancelled() at fixpoint-round granularity
+  /// and abort with repair::Cancelled once the token expires (explicit
+  /// cancel() or a with_timeout() deadline). Null means never cancelled.
+  /// The batch executor uses this to enforce --task-timeout.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// Measurements reported by the algorithms; the benchmark tables are

@@ -112,4 +112,60 @@ VerifyReport verify_masking(prog::DistributedProgram& program,
   return report;
 }
 
+VerifyReport verify_tolerant_model(prog::DistributedProgram& program,
+                                   ToleranceLevel level) {
+  LR_TRACE_SPAN("verify_tolerant_model");
+  sym::Space& space = program.space();
+  bdd::Manager& mgr = space.manager();
+  const bdd::Bdd valid_cur = space.valid(sym::Version::kCurrent);
+  const bdd::Bdd faults = program.fault_delta();
+
+  // View the model's own processes as the "repair result" under test.
+  RepairResult view;
+  view.success = true;
+  view.delta = space.bdd_false();
+  for (std::size_t j = 0; j < program.process_count(); ++j) {
+    view.process_deltas.push_back(program.process_delta(j));
+    view.delta |= view.process_deltas.back();
+  }
+
+  // ms: states from which faults alone can violate safety, over the full
+  // valid space (no reachability restriction — this is verification, not
+  // synthesis, so over-approximating costs only precision of S', and the
+  // closure step below removes any state the model cannot keep safe).
+  bdd::Bdd ms = space.bdd_false();
+  if (level != ToleranceLevel::kNonmasking) {
+    const prog::SafetySpec& spec = program.safety();
+    ms = (spec.bad_states |
+          mgr.exists(faults & spec.bad_trans, space.cube(sym::Version::kNext))) &
+         valid_cur;
+    while (true) {
+      const bdd::Bdd grown = (ms | space.preimage(faults, ms)) & valid_cur;
+      if (grown == ms) break;
+      ms = grown;
+    }
+  }
+
+  // Candidate S': the largest subset of the declared invariant avoiding ms
+  // and closed under the model's stutter-completed transitions. Any genuine
+  // repair's S' is such a set, so this derivation never under-shoots a
+  // correct export.
+  bdd::Bdd s = program.invariant().minus(ms);
+  const bdd::Bdd delta_stutter = program.stutter_completion(view.delta);
+  while (true) {
+    const bdd::Bdd escaping =
+        s & space.preimage(delta_stutter, valid_cur.minus(s));
+    if (escaping.is_false()) break;
+    s = s.minus(escaping);
+  }
+  view.invariant = s;
+
+  std::vector<bdd::Bdd> partitions = view.process_deltas;
+  const std::vector<bdd::Bdd>& fault_parts = program.fault_action_deltas();
+  partitions.insert(partitions.end(), fault_parts.begin(), fault_parts.end());
+  view.fault_span = space.forward_reachable(partitions, s);
+
+  return verify_masking(program, view, level);
+}
+
 }  // namespace lr::repair

@@ -46,4 +46,19 @@ struct VerifyReport {
     prog::DistributedProgram& program, const RepairResult& result,
     ToleranceLevel level = ToleranceLevel::kMasking);
 
+/// Verifies that a *standalone* program (typically a repaired model written
+/// by export_model and parsed back) is itself f-tolerant, without access to
+/// the RepairResult that produced it. The candidate invariant is re-derived
+/// from the model: the largest subset of its declared invariant that avoids
+/// the fault-unsafe states (ms, computed over the full valid space) and is
+/// closed under the model's own stutter-completed transitions; the fault
+/// span is fresh forward reachability from that set. The derived set
+/// contains any genuine repair's S', so a correct export passes every check
+/// of verify_masking, while a corrupted or hand-edited one fails at least
+/// one — which is exactly the staleness signal batch --resume needs, at a
+/// fraction of the cost of re-running the repair.
+[[nodiscard]] VerifyReport verify_tolerant_model(
+    prog::DistributedProgram& program,
+    ToleranceLevel level = ToleranceLevel::kMasking);
+
 }  // namespace lr::repair

@@ -1,6 +1,8 @@
 #include "support/cli.hpp"
 
+#include <cstddef>
 #include <cstdlib>
+#include <string_view>
 
 namespace lr::support {
 
@@ -41,6 +43,41 @@ std::int64_t CommandLine::get_int(const std::string& name,
   char* end = nullptr;
   const long long value = std::strtoll(it->second.c_str(), &end, 10);
   return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::vector<std::string> CommandLine::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, value] : options_) names.push_back(name);
+  return names;  // options_ is an ordered map: already sorted and unique
+}
+
+std::string format_flag_help(const std::vector<FlagSpec>& specs) {
+  // Column where help text starts; wide enough for the longest flag in use
+  // and stable so goldens do not churn when a flag is added.
+  constexpr std::size_t kHelpColumn = 24;
+  std::string out;
+  for (const FlagSpec& spec : specs) {
+    std::string head = "  --" + spec.name;
+    if (!spec.value.empty()) head += "=" + spec.value;
+    if (head.size() + 2 > kHelpColumn) {
+      out += head + "\n" + std::string(kHelpColumn, ' ');
+    } else {
+      out += head + std::string(kHelpColumn - head.size(), ' ');
+    }
+    std::string_view help = spec.help;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = help.find('\n', start);
+      out += help.substr(start, nl == std::string_view::npos ? nl
+                                                            : nl - start);
+      out += "\n";
+      if (nl == std::string_view::npos) break;
+      out += std::string(kHelpColumn, ' ');
+      start = nl + 1;
+    }
+  }
+  return out;
 }
 
 }  // namespace lr::support

@@ -33,6 +33,11 @@ class CommandLine {
     return positional_;
   }
 
+  /// Names of every "--name[=value]" option that was passed (sorted,
+  /// deduplicated). Lets binaries with a declared flag set reject typos
+  /// instead of silently ignoring them.
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
   /// Program name (argv[0]).
   [[nodiscard]] const std::string& program() const noexcept { return program_; }
 
@@ -41,5 +46,19 @@ class CommandLine {
   std::map<std::string, std::string> options_;
   std::vector<std::string> positional_;
 };
+
+/// Declaration of one "--flag" a binary accepts: the machine-readable side
+/// of its --help text. Binaries keep a table of these so that help output,
+/// unknown-flag rejection and the README flag table can be checked against
+/// each other (see tests/support/test_cli_flags.cpp).
+struct FlagSpec {
+  std::string name;   ///< without the leading "--"
+  std::string value;  ///< placeholder ("N", "FILE", ...); empty for booleans
+  std::string help;   ///< description; '\n' continues on an indented line
+};
+
+/// Renders specs as aligned "  --name=VALUE   help" lines (with embedded
+/// newlines in `help` continued at the help column).
+[[nodiscard]] std::string format_flag_help(const std::vector<FlagSpec>& specs);
 
 }  // namespace lr::support

@@ -32,6 +32,22 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+std::string json_quote(std::string_view text) {
+  return "\"" + json_escape(text) + "\"";
+}
+
+std::string json_number(double value) {
+  if (value != value || value == 1.0 / 0.0 || value == -1.0 / 0.0) {
+    return "null";
+  }
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
 const JsonValue* JsonValue::find(std::string_view key) const {
   if (kind != Kind::kObject) return nullptr;
   const JsonValue* found = nullptr;

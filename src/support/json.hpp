@@ -13,6 +13,16 @@ namespace lr::support {
 /// included). Control characters become \uXXXX sequences.
 [[nodiscard]] std::string json_escape(std::string_view text);
 
+/// `"..."`: json_escape plus the surrounding quotes.
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+/// Renders a double as a JSON number that parses back to the same value
+/// (shortest of %.15g/%.16g/%.17g that round-trips). Non-finite values,
+/// which JSON cannot represent, become null. The manifest and metrics
+/// writers use this so re-reading a report reproduces state counts
+/// exactly.
+[[nodiscard]] std::string json_number(double value);
+
 /// A parsed JSON value. The observability layer *writes* JSON by hand (the
 /// documents are flat and the writer must not allocate surprising amounts);
 /// this reader exists so tests — and future tooling that ingests run

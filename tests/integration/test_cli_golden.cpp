@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <regex>
 #include <sstream>
@@ -140,6 +141,73 @@ TEST(CliGoldenTest_Batch, BatchStdoutMatchesGoldenAndIsJobIndependent) {
     stable.replace(at, dir.size(), "<models>");
   }
   expect_matches_golden(stable, "batch.stdout.golden");
+}
+
+TEST(CliGoldenTest_Batch, FailingTaskYieldsNonzeroExitAndFailureSummary) {
+  // A sweep with one poisoned model must finish the healthy ones, print a
+  // one-line failure summary and exit nonzero — not abort the sweep.
+  const std::string dir = ::testing::TempDir() + "cli_golden_failures";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream good(dir + "/healthy.lr");
+    good << read_file(models_dir() + "/quickstart.lr");
+  }
+  {
+    std::ofstream bad(dir + "/poisoned.lr");
+    bad << "program poisoned;\nvar x : 0..2;\nthis is not a model\n";
+  }
+  const CliRun run = run_cli("--batch " + dir + " --jobs 2");
+  EXPECT_EQ(run.exit_code, 1)
+      << "a captured per-task failure must fail the sweep:\n" << run.output;
+  EXPECT_NE(run.output.find("batch summary: 1/2 ok"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("batch failures: poisoned (failed)"),
+            std::string::npos)
+      << run.output;
+  std::string stable = run.output;
+  for (std::size_t at = stable.find(dir); at != std::string::npos;
+       at = stable.find(dir)) {
+    stable.replace(at, dir.size(), "<dir>");
+  }
+  expect_matches_golden(normalize_stdout(stable),
+                        "batch_failures.stdout.golden");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliGoldenTest_Batch, CheckpointManifestMatchesGolden) {
+  // Locks the manifest JSON schema: field names, nesting, sorting and the
+  // always-present keys. Timing and machine-local paths are normalized.
+  const std::string dir = ::testing::TempDir() + "cli_golden_manifest";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream model(dir + "/quickstart.lr");
+    model << read_file(models_dir() + "/quickstart.lr");
+  }
+  const CliRun run =
+      run_cli("--batch " + dir + " --manifest=" + dir + "/manifest.json");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::string manifest = read_file(dir + "/manifest.json");
+  ASSERT_FALSE(manifest.empty());
+  for (std::size_t at = manifest.find(dir); at != std::string::npos;
+       at = manifest.find(dir)) {
+    manifest.replace(at, dir.size(), "<dir>");
+  }
+  expect_matches_golden(normalize_metrics(manifest), "manifest.golden");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliGoldenTest_Help, HelpListsEveryFlagAndExitsZero) {
+  const CliRun run = run_cli("--help");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* flag : {"--batch", "--resume", "--manifest",
+                           "--task-timeout", "--retries", "--export-dir"}) {
+    EXPECT_NE(run.output.find(flag), std::string::npos)
+        << flag << " missing from --help:\n" << run.output;
+  }
+  const CliRun unknown = run_cli("--no-such-flag");
+  EXPECT_EQ(unknown.exit_code, 2) << "unknown flags must be rejected";
 }
 
 TEST(CliGoldenTest_Progress, HeartbeatsNeverTouchStdout) {

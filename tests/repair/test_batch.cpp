@@ -1,15 +1,26 @@
 // Tests for the batch repair executor: determinism across job counts,
-// task-order results, per-task error capture, and metrics recording.
+// task-order results, per-task error capture, metrics recording, timeouts
+// with bounded retries, and checkpoint/resume.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 
 #include "casestudies/chain.hpp"
 #include "casestudies/tmr.hpp"
 #include "casestudies/token_ring.hpp"
+#include <memory>
+
+#include "lang/parser.hpp"
 #include "repair/batch.hpp"
+#include "repair/export.hpp"
+#include "repair/lazy.hpp"
+#include "repair/manifest.hpp"
+#include "support/fs.hpp"
 #include "support/metrics.hpp"
 
 namespace lr::repair {
@@ -147,6 +158,201 @@ TEST(BatchTest, RecordsAggregateAndPerTaskMetrics) {
   // The un-prefixed aggregate keys accumulate across the whole batch.
   EXPECT_TRUE(m.has_gauge("repair.invariant_states"));
   support::metrics::registry().clear();
+}
+
+TEST(BatchTest, PreCancelledTokenAbortsRepairWithCancelled) {
+  auto program = cs::make_tmr({});
+  Options options;
+  options.cancel = std::make_shared<CancelToken>();
+  options.cancel->cancel();
+  EXPECT_THROW((void)lazy_repair(*program, options), Cancelled);
+}
+
+TEST(BatchTest, TimedOutTaskIsRetriedBoundedlyAndMarkedTimeout) {
+  std::vector<BatchTask> tasks;
+  BatchTask task;
+  task.name = "doomed";
+  // A pre-cancelled token makes every attempt hit the cooperative
+  // cancellation check on its first fixpoint round — a deterministic
+  // stand-in for an expired --task-timeout deadline.
+  task.options.cancel = std::make_shared<CancelToken>();
+  task.options.cancel->cancel();
+  task.make_program = [] { return cs::make_tmr({}); };
+  tasks.push_back(std::move(task));
+
+  BatchOptions options;
+  options.jobs = 1;
+  options.record_metrics = false;
+  options.task_retries = 2;
+  const BatchReport report = run_batch(tasks, options);
+  ASSERT_EQ(report.items.size(), 1u);
+  const BatchItemResult& item = report.items[0];
+  EXPECT_FALSE(item.ok());
+  EXPECT_TRUE(item.timed_out);
+  EXPECT_EQ(item.attempts, 3u) << "1 initial + 2 retries";
+  EXPECT_STREQ(item.status(), "timeout");
+  EXPECT_EQ(report.failed_count(), 1u);
+}
+
+TEST(BatchTest, ThrowingBuildIsRetriedButHonestResultIsNot) {
+  std::vector<BatchTask> tasks;
+  {
+    BatchTask task;
+    task.name = "thrower";
+    task.make_program = []() -> std::unique_ptr<prog::DistributedProgram> {
+      throw std::runtime_error("synthetic crash");
+    };
+    tasks.push_back(std::move(task));
+  }
+  {
+    BatchTask task;
+    task.name = "tmr";
+    task.make_program = [] { return cs::make_tmr({}); };
+    tasks.push_back(std::move(task));
+  }
+  BatchOptions options;
+  options.jobs = 1;
+  options.record_metrics = false;
+  options.task_retries = 3;
+  const BatchReport report = run_batch(tasks, options);
+  EXPECT_EQ(report.items[0].attempts, 4u);
+  EXPECT_FALSE(report.items[0].ok());
+  EXPECT_STREQ(report.items[0].status(), "failed");
+  EXPECT_EQ(report.items[1].attempts, 1u)
+      << "a successful repair must not burn retry attempts";
+  EXPECT_TRUE(report.items[1].ok());
+}
+
+/// Fixture for engine-level checkpoint/resume: a real model file, a real
+/// manifest and a real export, in a scratch directory.
+class BatchResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "batch_resume_engine";
+    std::filesystem::create_directories(dir_);
+    model_path_ = dir_ + "/counter.lr";
+    write_model("");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void write_model(const std::string& suffix) {
+    ASSERT_TRUE(support::write_file_atomic(
+        model_path_,
+        "program counter;\n"
+        "var x : 0..2;\n"
+        "process worker {\n"
+        "  reads x;\n  writes x;\n"
+        "  action reset: x == 1 -> x := 0;\n"
+        "}\n"
+        "fault glitch: x == 0 -> x := 1;\n"
+        "invariant x == 0;\n"
+        "bad_state x == 2;\n" +
+            suffix));
+  }
+
+  std::vector<BatchTask> tasks() const {
+    std::vector<BatchTask> list;
+    BatchTask task;
+    task.name = "counter";
+    task.input_path = model_path_;
+    task.export_path = dir_ + "/counter.repaired.lr";
+    task.make_program = [file = model_path_] {
+      return lang::parse_program_file(file);
+    };
+    list.push_back(std::move(task));
+    return list;
+  }
+
+  BatchOptions batch_options(bool resume) const {
+    BatchOptions options;
+    options.jobs = 1;
+    options.record_metrics = false;
+    options.manifest_path = dir_ + "/batch.manifest.json";
+    options.resume = resume;
+    return options;
+  }
+
+  std::string dir_;
+  std::string model_path_;
+};
+
+TEST_F(BatchResumeTest, SkipsValidatedTaskAndReprintsRecordedResult) {
+  const BatchReport cold = run_batch(tasks(), batch_options(true));
+  ASSERT_EQ(cold.skipped_count(), 0u) << "no manifest yet: cold start";
+  ASSERT_TRUE(cold.items[0].ok());
+  ASSERT_EQ(cold.items[0].export_path, dir_ + "/counter.repaired.lr");
+  ASSERT_TRUE(std::filesystem::exists(cold.items[0].export_path));
+
+  const std::optional<Manifest> manifest =
+      Manifest::load(dir_ + "/batch.manifest.json");
+  ASSERT_TRUE(manifest.has_value());
+  const ManifestEntry* entry = manifest->find("counter");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->status, "ok");
+  EXPECT_EQ(entry->input_hash, *support::hash_file(model_path_));
+
+  const BatchReport warm = run_batch(tasks(), batch_options(true));
+  EXPECT_EQ(warm.skipped_count(), 1u);
+  const BatchItemResult& item = warm.items[0];
+  EXPECT_TRUE(item.skipped);
+  EXPECT_TRUE(item.ok());
+  // Everything the report prints is reprinted from the manifest.
+  EXPECT_EQ(item.model_states, cold.items[0].model_states);
+  EXPECT_EQ(item.stats.invariant_states, cold.items[0].stats.invariant_states);
+  EXPECT_EQ(item.stats.span_states, cold.items[0].stats.span_states);
+  EXPECT_EQ(item.verified, cold.items[0].verified);
+  EXPECT_EQ(item.verify_ok, cold.items[0].verify_ok);
+  EXPECT_EQ(item.algorithm, cold.items[0].algorithm);
+}
+
+TEST_F(BatchResumeTest, EditedInputInvalidatesTheManifestRow) {
+  (void)run_batch(tasks(), batch_options(true));
+  write_model("// semantically neutral edit\n");
+  const BatchReport warm = run_batch(tasks(), batch_options(true));
+  EXPECT_EQ(warm.skipped_count(), 0u)
+      << "a changed input hash must force a re-run";
+  EXPECT_TRUE(warm.items[0].ok());
+}
+
+TEST_F(BatchResumeTest, CorruptedExportInvalidatesTheManifestRow) {
+  const BatchReport cold = run_batch(tasks(), batch_options(true));
+  ASSERT_TRUE(cold.items[0].ok());
+  // Truncate the export: it still exists but no longer parses.
+  ASSERT_TRUE(
+      support::write_file_atomic(dir_ + "/counter.repaired.lr", "progr"));
+  const BatchReport warm = run_batch(tasks(), batch_options(true));
+  EXPECT_EQ(warm.skipped_count(), 0u)
+      << "resume must re-verify the export, not trust the manifest";
+  EXPECT_TRUE(warm.items[0].ok());
+  EXPECT_FALSE(warm.items[0].skipped);
+}
+
+TEST_F(BatchResumeTest, ChangedOptionsFingerprintInvalidatesTheManifestRow) {
+  (void)run_batch(tasks(), batch_options(true));
+  std::vector<BatchTask> changed = tasks();
+  changed[0].options.use_expand_group = false;
+  const BatchReport warm = run_batch(changed, batch_options(true));
+  EXPECT_EQ(warm.skipped_count(), 0u);
+}
+
+TEST(BatchVerifyTest, VerifyTolerantModelAcceptsExportAndRejectsOriginal) {
+  // The repaired export is self-verifiably tolerant...
+  auto program = cs::make_tmr({});
+  const RepairResult result = lazy_repair(*program, {});
+  ASSERT_TRUE(result.success);
+  const std::string path =
+      ::testing::TempDir() + "verify_tolerant_export.lr";
+  ASSERT_TRUE(export_model_file(*program, result, path));
+  auto exported = lang::parse_program_file(path);
+  EXPECT_TRUE(verify_tolerant_model(*exported).ok);
+  // ...while the fault-intolerant input is not.
+  auto original = cs::make_tmr({});
+  EXPECT_FALSE(verify_tolerant_model(*original).ok);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// Flag-table sync tests: repair_cli's accepted flags, its --help text and
+// the README flag table are all generated from / checked against
+// repair::repair_cli_flag_specs(). These tests keep the three in sync:
+//  1. every flag the repair_cli source actually queries is declared,
+//  2. every declared flag appears in the generated --help text,
+//  3. every declared flag is documented in the README flag table.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "repair/cli_spec.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string source_root() { return LR_SOURCE_DIR; }
+
+/// Flags the repair_cli source actually queries: every cli.has("x"),
+/// cli.get("x", ...) and cli.get_int("x", ...) call site.
+std::set<std::string> flags_queried_by_source() {
+  const std::string source =
+      read_file(source_root() + "/examples/repair_cli.cpp");
+  EXPECT_FALSE(source.empty()) << "cannot read examples/repair_cli.cpp";
+  static const std::regex query(R"~(cli\.(?:has|get|get_int)\(\s*"([a-z-]+)")~");
+  std::set<std::string> names;
+  for (std::sregex_iterator it(source.begin(), source.end(), query), end;
+       it != end; ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+TEST(CliFlagsTest, EveryQueriedFlagIsDeclaredInTheSpecTable) {
+  const auto& specs = lr::repair::repair_cli_flag_specs();
+  std::set<std::string> declared;
+  for (const lr::support::FlagSpec& spec : specs) declared.insert(spec.name);
+  const std::set<std::string> queried = flags_queried_by_source();
+  ASSERT_FALSE(queried.empty());
+  for (const std::string& name : queried) {
+    EXPECT_TRUE(declared.count(name) != 0)
+        << "repair_cli queries --" << name
+        << " but does not declare it in repair_cli_flag_specs() — "
+        << "--help and the README table would miss it";
+  }
+}
+
+TEST(CliFlagsTest, EveryDeclaredFlagAppearsInHelpOutput) {
+  const std::string usage = lr::repair::repair_cli_usage("repair_cli");
+  for (const lr::support::FlagSpec& spec :
+       lr::repair::repair_cli_flag_specs()) {
+    EXPECT_NE(usage.find("--" + spec.name), std::string::npos)
+        << "--" << spec.name << " missing from --help output";
+    EXPECT_FALSE(spec.help.empty()) << "--" << spec.name << " has no help";
+  }
+}
+
+TEST(CliFlagsTest, EveryDeclaredFlagIsDocumentedInReadme) {
+  const std::string readme = read_file(source_root() + "/README.md");
+  ASSERT_FALSE(readme.empty());
+  for (const lr::support::FlagSpec& spec :
+       lr::repair::repair_cli_flag_specs()) {
+    EXPECT_NE(readme.find("`--" + spec.name), std::string::npos)
+        << "--" << spec.name
+        << " is not documented in the README flag table";
+  }
+}
+
+TEST(CliFlagsTest, OptionNamesReportsEveryPassedFlag) {
+  const char* argv[] = {"prog", "--alpha=1", "--beta", "value", "--gamma",
+                        "--alpha=2"};
+  const lr::support::CommandLine cli(6, argv);
+  const std::vector<std::string> names = cli.option_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(CliFlagsTest, FormatFlagHelpAlignsAndContinuesMultilineHelp) {
+  const std::vector<lr::support::FlagSpec> specs = {
+      {"short", "N", "one line"},
+      {"two-liner", "", "first\nsecond"},
+  };
+  const std::string text = lr::support::format_flag_help(specs);
+  EXPECT_NE(text.find("  --short=N"), std::string::npos);
+  EXPECT_NE(text.find("one line\n"), std::string::npos);
+  // The continuation line is indented to the help column.
+  EXPECT_NE(text.find("\n                        second\n"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
