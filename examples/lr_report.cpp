@@ -1,8 +1,10 @@
-// Compares two --metrics-json run reports and gates on regressions.
+// Compares two --metrics-json run reports and gates on regressions, or
+// diffs two repair decision journals.
 //
 // Usage:
 //   lr_report BASELINE.json CURRENT.json [options]
 //   lr_report CURRENT.json [options]          (baseline: BENCH_seed.json)
+//   lr_report --journal A.jsonl B.jsonl       (decision-journal diff)
 //
 //   --key=NAME        gate metric (default bench.wall_seconds)
 //   --max-ratio=R     fail when current/baseline of the gate metric
@@ -10,12 +12,17 @@
 //   --filter=SUBSTR   only list keys containing SUBSTR
 //   --all             list every shared key (default: only keys whose
 //                     ratio moved by >= 10%, plus the gate metric)
+//   --journal         treat the two positionals as repair journals
+//                     (repair_cli --journal output) and print a
+//                     side-by-side decision comparison
 //
 // Prints an aligned diff table (key, baseline, current, ratio) and exits
 // 0 when the gate metric is within bounds, 1 on a regression, 2 on a
-// usage or parse error. CI runs this against the committed BENCH_seed.json
-// so a slowdown in the repair engine fails the build instead of landing
-// silently.
+// usage or parse error. Keys present on only one side and ratios with a
+// zero baseline print "n/a" instead of being skipped or dividing by
+// zero; a zero-baseline gate with a nonzero current fails the gate. CI
+// runs this against the committed BENCH_seed.json so a slowdown in the
+// repair engine fails the build instead of landing silently.
 
 #include <cmath>
 #include <cstdio>
@@ -77,22 +84,160 @@ std::string format_value(double value) {
 }
 
 std::string format_ratio(double baseline, double current) {
-  if (baseline == 0.0) return current == 0.0 ? "1.00" : "inf";
+  // A zero baseline has no meaningful ratio: "n/a", never a division.
+  if (baseline == 0.0) return current == 0.0 ? "1.00" : "n/a";
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%.2f", current / baseline);
   return buffer;
+}
+
+/// Decision-relevant aggregates of one repair journal (repair_cli
+/// --journal output): what the side-by-side lazy-vs-cautious table shows.
+struct JournalSummary {
+  std::string algorithm = "?";
+  std::string model;
+  std::string result = "?";
+  double rounds = 0;
+  double groups_accepted = 0;
+  double groups_rejected = 0;
+  double trans_accepted = 0;
+  /// Transitions pruned during the pre-Repair analysis ("analysis.*"
+  /// phases: cautious group closure) vs during the Repair phase itself
+  /// ("repair.*" phases: realize closure, livelock elimination). The
+  /// lazy-vs-cautious contrast the paper claims is exactly
+  /// analysis-pruned(cautious) >> analysis-pruned(lazy) == 0.
+  double analysis_pruned_trans = 0;
+  double repair_pruned_trans = 0;
+  double deadlock_rounds = 0;
+  double deadlock_states = 0;
+};
+
+bool load_journal(const std::string& path, JournalSummary& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lr_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const auto num = [](const lr::support::JsonValue& event, const char* key) {
+    const lr::support::JsonValue* value = event.find(key);
+    return value != nullptr && value->is_number() ? value->number : 0.0;
+  };
+  const auto text = [](const lr::support::JsonValue& event, const char* key) {
+    const lr::support::JsonValue* value = event.find(key);
+    return value != nullptr && value->is_string() ? value->string
+                                                  : std::string();
+  };
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto event = lr::support::json_parse(line);
+    if (!event || !event->is_object()) {
+      std::fprintf(stderr, "lr_report: %s:%zu: not a JSON object\n",
+                   path.c_str(), line_no);
+      return false;
+    }
+    const std::string kind = text(*event, "event");
+    if (kind == "journal") {  // header line
+      out.algorithm = text(*event, "algorithm");
+      out.model = text(*event, "model");
+    } else if (kind == "round_start") {
+      out.rounds += 1;
+    } else if (kind == "group" || kind == "prune") {
+      const std::string phase = text(*event, "phase");
+      const bool rejected =
+          kind == "prune" || text(*event, "decision") == "rejected";
+      if (kind == "group" && !rejected) {
+        out.groups_accepted += 1;
+        out.trans_accepted += num(*event, "trans");
+      }
+      if (rejected) {
+        if (kind == "group") out.groups_rejected += 1;
+        if (phase.rfind("analysis.", 0) == 0) {
+          out.analysis_pruned_trans += num(*event, "trans");
+        } else {
+          out.repair_pruned_trans += num(*event, "trans");
+        }
+      }
+    } else if (kind == "deadlock_round") {
+      out.deadlock_rounds += 1;
+      out.deadlock_states += num(*event, "states");
+    } else if (kind == "run_end") {
+      out.result = num(*event, "success") != 0.0 ? "success" : "failed";
+    }
+  }
+  if (line_no == 0) {
+    std::fprintf(stderr, "lr_report: %s is empty\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// `--journal A B`: side-by-side decision comparison of two repair
+/// journals (typically lazy vs cautious on the same model).
+int run_journal_diff(const std::string& path_a, const std::string& path_b) {
+  JournalSummary a;
+  JournalSummary b;
+  if (!load_journal(path_a, a) || !load_journal(path_b, b)) return 2;
+  std::string col_a = a.algorithm;
+  std::string col_b = b.algorithm;
+  if (col_a == col_b) {  // same algorithm twice: fall back to the paths
+    col_a = path_a;
+    col_b = path_b;
+  }
+  std::printf("journal diff: %s vs %s\n", path_a.c_str(), path_b.c_str());
+  lr::support::Table table({"decision metric", col_a, col_b});
+  table.add_row({"model", a.model, b.model});
+  table.add_row({"result", a.result, b.result});
+  table.add_row({"rounds", format_value(a.rounds), format_value(b.rounds)});
+  table.add_row({"groups accepted", format_value(a.groups_accepted),
+                 format_value(b.groups_accepted)});
+  table.add_row({"groups rejected", format_value(a.groups_rejected),
+                 format_value(b.groups_rejected)});
+  table.add_row({"transitions accepted", format_value(a.trans_accepted),
+                 format_value(b.trans_accepted)});
+  table.add_row({"transitions pruned pre-Repair (analysis)",
+                 format_value(a.analysis_pruned_trans),
+                 format_value(b.analysis_pruned_trans)});
+  table.add_row({"transitions pruned in Repair phase",
+                 format_value(a.repair_pruned_trans),
+                 format_value(b.repair_pruned_trans)});
+  table.add_row({"deadlock rounds", format_value(a.deadlock_rounds),
+                 format_value(b.deadlock_rounds)});
+  table.add_row({"deadlock states banned", format_value(a.deadlock_states),
+                 format_value(b.deadlock_states)});
+  table.print(std::cout);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const lr::support::CommandLine cli(argc, argv);
+  if (cli.has("journal")) {
+    // The parser binds "--journal A" as the flag's value; the journal
+    // paths are that value (when present) plus the positionals.
+    std::vector<std::string> paths;
+    const std::string flag_value = cli.get("journal", "");
+    if (!flag_value.empty()) paths.push_back(flag_value);
+    paths.insert(paths.end(), cli.positional().begin(),
+                 cli.positional().end());
+    if (paths.size() != 2) {
+      std::fprintf(stderr, "usage: %s --journal A.jsonl B.jsonl\n",
+                   cli.program().c_str());
+      return 2;
+    }
+    return run_journal_diff(paths[0], paths[1]);
+  }
   if (cli.positional().empty() || cli.positional().size() > 2) {
     std::fprintf(stderr,
                  "usage: %s [BASELINE.json] CURRENT.json [--key=NAME]\n"
                  "       [--max-ratio=R] [--filter=SUBSTR] [--all]\n"
+                 "       %s --journal A.jsonl B.jsonl\n"
                  "(one positional compares against %s)\n",
-                 cli.program().c_str(), kDefaultBaseline);
+                 cli.program().c_str(), cli.program().c_str(),
+                 kDefaultBaseline);
     return 2;
   }
   const bool have_baseline = cli.positional().size() == 2;
@@ -124,19 +269,39 @@ int main(int argc, char** argv) {
   lr::support::Table table({"metric", "baseline", "current", "ratio"});
   std::size_t shared = 0;
   std::size_t listed = 0;
-  for (const auto& [key, base_value] : baseline) {
-    const auto it = current.find(key);
-    if (it == current.end()) continue;
+  // Union of both key sets: a key present on only one side is reported
+  // with "n/a" on the other (it appeared or vanished — that is a change
+  // worth listing), never silently skipped.
+  std::map<std::string, char> keys;  // value unused
+  for (const auto& [key, value] : baseline) keys.emplace(key, 0);
+  for (const auto& [key, value] : current) keys.emplace(key, 0);
+  for (const auto& [key, ignored] : keys) {
+    const auto base_it = baseline.find(key);
+    const auto cur_it = current.find(key);
+    if (!filter.empty() && key.find(filter) == std::string::npos) {
+      if (base_it != baseline.end() && cur_it != current.end()) ++shared;
+      continue;
+    }
+    if (base_it == baseline.end() || cur_it == current.end()) {
+      ++listed;  // one-sided keys always count as moved
+      table.add_row(
+          {key,
+           base_it == baseline.end() ? "n/a" : format_value(base_it->second),
+           cur_it == current.end() ? "n/a" : format_value(cur_it->second),
+           "n/a"});
+      continue;
+    }
     ++shared;
-    if (!filter.empty() && key.find(filter) == std::string::npos) continue;
-    const double ratio =
-        base_value == 0.0 ? (it->second == 0.0 ? 1.0 : HUGE_VAL)
-                          : it->second / base_value;
-    const bool moved = std::fabs(ratio - 1.0) >= kListThreshold;
+    const double base_value = base_it->second;
+    const double cur_value = cur_it->second;
+    const bool moved =
+        base_value == 0.0
+            ? cur_value != 0.0
+            : std::fabs(cur_value / base_value - 1.0) >= kListThreshold;
     if (!all && !moved && key != gate_key) continue;
     ++listed;
-    table.add_row({key, format_value(base_value), format_value(it->second),
-                   format_ratio(base_value, it->second)});
+    table.add_row({key, format_value(base_value), format_value(cur_value),
+                   format_ratio(base_value, cur_value)});
   }
   std::printf("comparing %s (baseline) vs %s\n", baseline_path.c_str(),
               current_path.c_str());
@@ -160,10 +325,14 @@ int main(int argc, char** argv) {
                                              : current_path.c_str());
     return 2;
   }
-  const double gate_ratio = base_gate->second == 0.0
-                                ? (cur_gate->second == 0.0 ? 1.0 : HUGE_VAL)
-                                : cur_gate->second / base_gate->second;
-  std::printf("gate: %s ratio %.2f (max %.2f) -> %s\n", gate_key.c_str(),
-              gate_ratio, max_ratio, gate_ratio <= max_ratio ? "OK" : "FAIL");
-  return gate_ratio <= max_ratio ? 0 : 1;
+  // A zero baseline with a nonzero current has no finite ratio; it is
+  // reported as n/a and treated as a regression (the metric appeared).
+  const bool gate_ok =
+      base_gate->second == 0.0
+          ? cur_gate->second == 0.0
+          : cur_gate->second / base_gate->second <= max_ratio;
+  std::printf("gate: %s ratio %s (max %.2f) -> %s\n", gate_key.c_str(),
+              format_ratio(base_gate->second, cur_gate->second).c_str(),
+              max_ratio, gate_ok ? "OK" : "FAIL");
+  return gate_ok ? 0 : 1;
 }

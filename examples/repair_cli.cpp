@@ -5,6 +5,7 @@
 //   repair_cli MODEL.lr [--cautious] [--oneshot] [--no-heuristic]
 //              [--level=masking|failsafe|nonmasking]
 //              [--print-program] [--no-verify] [--stats]
+//              [--journal=FILE] [--explain]
 //              [--trace-out=FILE] [--metrics-json=FILE] [--log-level=LEVEL]
 //   repair_cli --batch DIR [--jobs=N] [--resume] [--manifest=FILE]
 //              [--task-timeout=SECS] [--retries=N] [shared options]
@@ -33,6 +34,7 @@
 #include "repair/cli_spec.hpp"
 #include "repair/describe.hpp"
 #include "repair/export.hpp"
+#include "repair/journal.hpp"
 #include "repair/lazy.hpp"
 #include "repair/report.hpp"
 #include "repair/verify.hpp"
@@ -103,6 +105,19 @@ int run_batch_mode(const lr::support::CommandLine& cli,
     }
   }
 
+  // Per-task journal files: the journal contents depend only on the task,
+  // so a DIR/<name>.journal.jsonl layout is deterministic across --jobs.
+  std::string journal_dir = cli.get("journal", "");
+  if (!journal_dir.empty()) {
+    std::error_code mk_ec;
+    fs::create_directories(journal_dir, mk_ec);
+    if (mk_ec) {
+      std::fprintf(stderr, "cannot create journal dir %s: %s\n",
+                   journal_dir.c_str(), mk_ec.message().c_str());
+      return 2;
+    }
+  }
+
   const bool cautious = cli.has("cautious");
   const bool verify = !cli.has("no-verify");
   std::vector<lr::repair::BatchTask> tasks;
@@ -124,6 +139,10 @@ int run_batch_mode(const lr::support::CommandLine& cli,
     if (!export_dir.empty()) {
       task.export_path =
           (fs::path(export_dir) / (task.name + ".lr")).string();
+    }
+    if (!journal_dir.empty()) {
+      task.journal_path =
+          (fs::path(journal_dir) / (task.name + ".journal.jsonl")).string();
     }
     tasks.push_back(std::move(task));
   }
@@ -269,6 +288,12 @@ int main(int argc, char** argv) {
 
   const std::string metrics_path_early = cli.get("metrics-json", "");
   if (cli.has("batch")) {
+    if (cli.has("explain")) {
+      std::fprintf(stderr,
+                   "--explain needs a single model (use --journal=DIR with "
+                   "--batch and inspect the per-model journals)\n");
+      return 2;
+    }
     return run_batch_mode(cli, options, trace_path, metrics_path_early);
   }
 
@@ -299,6 +324,24 @@ int main(int argc, char** argv) {
     options.cancel = lr::repair::CancelToken::with_timeout(task_timeout);
   }
 
+  // Declared after `program`: journal events hold Bdd handles and must not
+  // outlive the program's Space.
+  lr::repair::Journal journal;
+  const std::string journal_path = cli.get("journal", "");
+  const bool explain = cli.has("explain");
+  if (!journal_path.empty() || explain) {
+    journal.meta("model", program->name());
+    options.journal = &journal;
+  }
+  const auto write_journal = [&journal, &journal_path] {
+    if (journal_path.empty()) return true;
+    if (!journal.save(journal_path)) {
+      std::fprintf(stderr, "cannot write %s\n", journal_path.c_str());
+      return false;
+    }
+    return true;
+  };
+
   lr::support::Stopwatch watch;
   lr::repair::RepairResult result;
   try {
@@ -307,6 +350,7 @@ int main(int argc, char** argv) {
   } catch (const lr::repair::Cancelled&) {
     std::printf("repair failed: timed out (task-timeout %.3gs)\n",
                 task_timeout);
+    write_journal();
     return 1;
   }
 
@@ -331,6 +375,13 @@ int main(int argc, char** argv) {
 
   if (!result.success) {
     std::printf("repair failed: %s\n", result.failure_reason.c_str());
+    if (explain) {
+      std::printf("\n");
+      for (const std::string& line : lr::repair::describe_journal(journal)) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    write_journal();
     write_reports();
     return 1;
   }
@@ -359,6 +410,17 @@ int main(int argc, char** argv) {
       lr::bdd::profile::write_attribution_table(profiler, std::cout);
       lr::bdd::profile::record_metrics(profiler);
     }
+  }
+
+  if (explain) {
+    std::printf("\n");
+    for (const std::string& line : lr::repair::describe_journal(journal)) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  if (!write_journal()) {
+    write_reports();
+    return 1;
   }
 
   if (cli.has("print-program")) {

@@ -1,0 +1,22 @@
+#include "bdd/witness.hpp"
+
+namespace lr::bdd {
+
+std::vector<signed char> sat_one(Manager& mgr, const Bdd& f) {
+  if (!f.valid() || f.is_false()) return {};
+  std::vector<signed char> values(mgr.var_count(), -1);
+  Bdd current = f;
+  for (const VarIndex v : mgr.support(f)) {
+    const Bdd low = mgr.cofactor(current, v, false);
+    if (!low.is_false()) {
+      values[v] = 0;
+      current = low;
+    } else {
+      values[v] = 1;
+      current = mgr.cofactor(current, v, true);
+    }
+  }
+  return values;
+}
+
+}  // namespace lr::bdd

@@ -1,0 +1,23 @@
+#pragma once
+
+// Witness extraction: one satisfying assignment of a predicate, chosen
+// deterministically. The repair journal uses this to decorate pruned-
+// transition and newly-deadlocked events with a concrete state — turning
+// "we removed 12 transitions" into a checkable claim about one of them.
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace lr::bdd {
+
+/// One satisfying assignment of `f`, as a per-variable vector indexed by
+/// VarIndex: 0/1 for variables the chosen path fixes, -1 for don't-cares.
+/// Deterministic: variables are resolved in support order and the
+/// 0-cofactor is preferred, so the same function always yields the same
+/// witness (the companion of Manager::pick_minterm, which fixes don't-cares
+/// to 0 instead of reporting them). Returns an empty vector when `f` is
+/// unsatisfiable or invalid.
+[[nodiscard]] std::vector<signed char> sat_one(Manager& mgr, const Bdd& f);
+
+}  // namespace lr::bdd

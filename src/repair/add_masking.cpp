@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "repair/journal.hpp"
 #include "support/log.hpp"
 #include "support/progress.hpp"
 #include "support/trace.hpp"
@@ -97,12 +98,14 @@ StepOneResult add_masking(prog::DistributedProgram& program,
 
   // --- Shrink (S1, T1) to the largest consistent pair -------------------------
   bdd::Bdd p1;
+  std::size_t shrink_rounds = 0;
   {
   LR_TRACE_SPAN("add_masking.shrink_fixpoint");
   support::progress::Heartbeat heartbeat("add_masking.shrink");
   while (true) {
       throw_if_cancelled(options.cancel);
       ++stats.addmasking_rounds;
+      ++shrink_rounds;
       support::trace::counter("bdd.live_nodes",
                               static_cast<double>(mgr.live_nodes()));
       if (heartbeat.due()) {
@@ -147,6 +150,11 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       s2 = construct_invariant(space, s2, p1 & space.prime(s2));
       if (s2.is_false()) return result;
 
+      if (options.journal != nullptr) {
+        options.journal->fixpoint_round("add_masking.shrink", shrink_rounds,
+                                        space.count_states(s2),
+                                        space.count_states(t2));
+      }
       if (s2 == s1 && t2 == t1) break;
       s1 = s2;
       t1 = t2;
@@ -180,10 +188,16 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       throw_if_cancelled(options.cancel);
       const bdd::Bdd layer = space.preimage(p1, below) & remaining;
       if (layer.is_false()) break;
-      added |= p1 & layer & space.prime(below);
+      const bdd::Bdd layer_added = p1 & layer & space.prime(below);
+      added |= layer_added;
       below |= layer;
       remaining = remaining.minus(layer);
       ++stats.recovery_layers;
+      if (options.journal != nullptr) {
+        options.journal->recovery_layer(stats.recovery_layers,
+                                        space.count_states(layer),
+                                        layer_added);
+      }
       support::trace::counter("bdd.live_nodes",
                               static_cast<double>(mgr.live_nodes()));
       if (heartbeat.due()) {
@@ -201,6 +215,11 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   result.delta = final_delta;
   stats.span_states = space.count_states(t1);
   stats.invariant_states = space.count_states(s1);
+  if (options.journal != nullptr) {
+    options.journal->step_one_summary(stats.invariant_states,
+                                      stats.span_states, shrink_rounds,
+                                      stats.recovery_layers);
+  }
   stats.peak_bdd_nodes =
       std::max(stats.peak_bdd_nodes, mgr.stats().peak_nodes);
   LR_LOG(debug) << "[add_masking] rounds=" << stats.addmasking_rounds

@@ -10,6 +10,7 @@
 #include "lang/parser.hpp"
 #include "repair/cautious.hpp"
 #include "repair/export.hpp"
+#include "repair/journal.hpp"
 #include "repair/lazy.hpp"
 #include "repair/manifest.hpp"
 #include "repair/report.hpp"
@@ -107,6 +108,13 @@ BatchItemResult run_task(const BatchTask& task, const BatchOptions& batch) {
       if (batch.task_timeout_seconds > 0.0) {
         options.cancel = CancelToken::with_timeout(batch.task_timeout_seconds);
       }
+      // Declared after `program`: journal events hold Bdd handles and must
+      // not outlive the task's Space.
+      Journal journal;
+      if (!task.journal_path.empty()) {
+        journal.meta("model", task.name);
+        options.journal = &journal;
+      }
       const RepairResult result =
           task.algorithm == BatchTask::Algorithm::kCautious
               ? cautious_repair(*program, options)
@@ -114,6 +122,10 @@ BatchItemResult run_task(const BatchTask& task, const BatchOptions& batch) {
       item.success = result.success;
       item.failure_reason = result.failure_reason;
       item.stats = result.stats;
+      if (!task.journal_path.empty() && !journal.save(task.journal_path)) {
+        LR_LOG(warn) << "[batch] " << task.name << ": cannot write journal "
+                     << task.journal_path;
+      }
       if (result.success && task.verify) {
         item.verified = true;
         const VerifyReport report =

@@ -47,6 +47,11 @@ struct BatchTask {
   /// re-verifies this file instead of trusting the manifest. Empty
   /// disables the export.
   std::string export_path;
+  /// Where to write the repair decision journal (JSONL, see
+  /// repair/journal.hpp). Each task gets its own file, and the journal
+  /// contents depend only on the task — never on scheduling — so the files
+  /// are byte-identical across --jobs counts. Empty disables journaling.
+  std::string journal_path;
 };
 
 /// Outcome of one task. Everything needed for reporting is copied out of

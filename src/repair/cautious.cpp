@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "repair/journal.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/progress.hpp"
@@ -38,8 +39,8 @@ bdd::Bdd construct_invariant(sym::Space& space, bdd::Bdd states,
 ///    an ablation showing how much of the paper's gap is the enumeration.
 bdd::Bdd tolerant_groups(prog::DistributedProgram& program, std::size_t j,
                          const bdd::Bdd& candidate, const bdd::Bdd& zone,
-                         const bdd::Bdd& reachable, const Options& options,
-                         Stats& stats) {
+                         const bdd::Bdd& reachable, const char* phase,
+                         const Options& options, Stats& stats) {
   sym::Space& space = program.space();
   bdd::Manager& mgr = space.manager();
   if (options.group_method == GroupMethod::kOneShot) {
@@ -49,7 +50,14 @@ bdd::Bdd tolerant_groups(prog::DistributedProgram& program, std::size_t j,
     const bdd::Bdd closed = mgr.forall(member_shape.implies(acceptable),
                                        program.unreadable_cube(j));
     const bdd::Bdd seeds = candidate & zone & closed;
-    return program.group(j, seeds);
+    const bdd::Bdd accepted = program.group(j, seeds);
+    if (options.journal != nullptr) {
+      options.journal->group_accepted(phase, j, accepted);
+      // Seeds that fell to the closure test (some reachable member of
+      // their group leaves the zone).
+      options.journal->prune(phase, "safety", j, candidate & zone, accepted);
+    }
+    return accepted;
   }
   const bdd::Bdd all_bits =
       space.cube(sym::Version::kCurrent) & space.cube(sym::Version::kNext);
@@ -62,7 +70,15 @@ bdd::Bdd tolerant_groups(prog::DistributedProgram& program, std::size_t j,
     const bdd::Bdd group = program.group(j, chosen);
     // Accept iff every member that the original program can reach lies in
     // the acceptable zone (Section-IV heuristic for the rest).
-    if ((group & reachable).leq(zone)) accepted |= group;
+    if ((group & reachable).leq(zone)) {
+      if (options.journal != nullptr) {
+        options.journal->group_accepted(phase, j, group);
+      }
+      accepted |= group;
+    } else if (options.journal != nullptr) {
+      options.journal->group_rejected(phase, j, "safety", group,
+                                      group & reachable, zone);
+    }
     pool = pool.minus(group);
   }
   return accepted;
@@ -84,6 +100,11 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     result.stats.peak_bdd_nodes =
         std::max(result.stats.peak_bdd_nodes, result.stats.bdd.peak_nodes);
   };
+  if (options.journal != nullptr) {
+    options.journal->begin_run(program, "cautious",
+                               tolerance_level_name(options.level));
+  }
+
   const std::size_t nproc = program.process_count();
   const bdd::Bdd delta_p = program.program_delta();
   const bdd::Bdd faults = program.fault_delta();
@@ -124,6 +145,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
     throw_if_cancelled(options.cancel);
     ++result.stats.outer_iterations;
+    if (options.journal != nullptr) options.journal->round_start(round);
     LR_TRACE_SPAN_NAMED(round_span, "cautious_repair.round");
     round_span.attr("round", static_cast<std::uint64_t>(round));
     support::trace::counter("repair.deadlock_round",
@@ -139,6 +161,9 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
                   << " refs=" << refinements;
     if (s1.is_false()) {
       result.failure_reason = "invariant became empty";
+      if (options.journal != nullptr) {
+        options.journal->run_end(false, result.failure_reason);
+      }
       finish();
       return result;
     }
@@ -151,7 +176,8 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     for (std::size_t j = 0; j < nproc; ++j) {
       inv_j[j] = tolerant_groups(program, j, program.process_delta(j),
                                  inv_zone & program.process_delta(j),
-                                 reach_ref, options, result.stats);
+                                 reach_ref, "analysis.invariant", options,
+                                 result.stats);
       inv_all |= inv_j[j];
     }
     // Keep original stutter loops inside the invariant.
@@ -168,7 +194,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     for (std::size_t j = 0; j < nproc; ++j) {
       const bdd::Bdd cand = rec_zone & program.respects_write(j);
       rec_j[j] = tolerant_groups(program, j, cand, cand, reach_ref,
-                                 options, result.stats);
+                                 "analysis.recovery", options, result.stats);
       rec_all |= rec_j[j];
     }
 
@@ -200,6 +226,12 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     }
     bdd::Bdd s2 = s1 & t2;
     s2 = construct_invariant(space, s2, (inv_all | inv_stutter) & space.prime(s2));
+    if (options.journal != nullptr) {
+      options.journal->fixpoint_round("cautious.shrink",
+                                      result.stats.addmasking_rounds,
+                                      space.count_states(s2),
+                                      space.count_states(t2));
+    }
     if (s2 != s1 || t2 != t1) {
       LR_LOG(debug) << "[cautious]   shrink path";
       s1 = s2;
@@ -221,13 +253,18 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       below |= layer;
       remaining = remaining.minus(layer);
       ++result.stats.recovery_layers;
+      if (options.journal != nullptr) {
+        options.journal->recovery_layer(result.stats.recovery_layers,
+                                        space.count_states(layer),
+                                        rec_all & layer & space.prime(below));
+      }
     }
     std::vector<bdd::Bdd> final_j(nproc);
     bdd::Bdd actions = space.bdd_false();
     for (std::size_t j = 0; j < nproc; ++j) {
       const bdd::Bdd kept_rec =
           tolerant_groups(program, j, rec_j[j], rec_j[j] & layer_decreasing,
-                          reach_ref, options, result.stats);
+                          reach_ref, "analysis.layers", options, result.stats);
       final_j[j] = inv_j[j] | kept_rec;
       actions |= final_j[j];
     }
@@ -254,6 +291,9 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       ++refinements;
       LR_LOG(debug) << "[cautious]   refine path";
       reach_ref &= span_full;
+      if (options.journal != nullptr) {
+        options.journal->refine(space.count_states(reach_ref));
+      }
       s1 = program.invariant().minus(ms);
       t1 = valid_cur.minus(ms);
       continue;
@@ -276,6 +316,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       result.delta = actions;
       result.stats.span_states = space.count_states(span);
       result.stats.invariant_states = space.count_states(s1);
+      if (options.journal != nullptr) options.journal->run_end(true, "");
       finish();
       // The whole run is one cautious pass; report it as "step 1" time so
       // the benchmark tables have a single comparable column.
@@ -299,11 +340,18 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     const double banned = space.count_states(deadlocks);
     result.stats.deadlock_states_banned += banned;
     result.stats.banned_trans_nodes = mt.node_count();
+    if (options.journal != nullptr) {
+      options.journal->deadlock_round(deadlocks,
+                                      result.stats.banned_trans_nodes);
+    }
     support::metrics::registry().set_gauge(
         "repair.deadlock_states.round" + std::to_string(round), banned);
   }
 
   result.failure_reason = "outer iteration bound exceeded";
+  if (options.journal != nullptr) {
+    options.journal->run_end(false, result.failure_reason);
+  }
   finish();
   return result;
 }

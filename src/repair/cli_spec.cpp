@@ -40,6 +40,13 @@ const std::vector<support::FlagSpec>& repair_cli_flag_specs() {
        "(default 10; LR_PROGRESS env var also works)"},
       {"trace-out", "FILE", "write a Chrome trace-event JSON span trace"},
       {"metrics-json", "FILE", "write a machine-readable JSON run report"},
+      {"journal", "FILE",
+       "write the repair decision journal (JSONL; one event\n"
+       "per decision, with BDD witness states). With --batch,\n"
+       "FILE is a directory: one NAME.journal.jsonl per model"},
+      {"explain", "",
+       "print a per-round narrative of the repair decisions\n"
+       "(from the journal; single-model mode only)"},
       {"log-level", "LEVEL",
        "trace|debug|info|warn|error|off (default warn;\n"
        "LR_LOG_LEVEL env var also works)"},

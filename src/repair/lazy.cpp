@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "repair/add_masking.hpp"
+#include "repair/journal.hpp"
 #include "repair/realize.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
@@ -45,6 +46,10 @@ void eliminate_livelocks(prog::DistributedProgram& program,
           (deltas[j] & on_cycle).minus(program.process_delta(j));
       const bdd::Bdd drop = program.group(j, synthesized);
       if (!drop.is_false()) {
+        if (options.journal != nullptr) {
+          options.journal->prune("repair.livelock", "cycle", j, deltas[j],
+                                 deltas[j].minus(drop));
+        }
         deltas[j] = deltas[j].minus(drop);
         removed_added = true;
       }
@@ -52,7 +57,12 @@ void eliminate_livelocks(prog::DistributedProgram& program,
     if (removed_added) continue;
     // Cycles made purely of original behavior: break them group-wise.
     for (std::size_t j = 0; j < deltas.size(); ++j) {
-      deltas[j] = deltas[j].minus(program.group(j, deltas[j] & on_cycle));
+      const bdd::Bdd kept =
+          deltas[j].minus(program.group(j, deltas[j] & on_cycle));
+      if (options.journal != nullptr) {
+        options.journal->prune("repair.livelock", "cycle", j, deltas[j], kept);
+      }
+      deltas[j] = kept;
     }
   }
 }
@@ -74,6 +84,11 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   };
 
   throw_if_cancelled(options.cancel);
+
+  if (options.journal != nullptr) {
+    options.journal->begin_run(program, "lazy",
+                               tolerance_level_name(options.level));
+  }
 
   if (options.sift_before_repair) {
     (void)program.program_delta();  // compile everything first
@@ -102,6 +117,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   for (std::size_t round = 0; round < options.max_outer_iterations; ++round) {
     throw_if_cancelled(options.cancel);
     ++result.stats.outer_iterations;
+    if (options.journal != nullptr) options.journal->round_start(round);
     LR_TRACE_SPAN_NAMED(round_span, "lazy_repair.round");
     round_span.attr("round", static_cast<std::uint64_t>(round));
     support::trace::counter("repair.deadlock_round",
@@ -122,6 +138,9 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     result.stats.step1_seconds += sw1.seconds();
     if (!step1.success) {
       result.failure_reason = "Add-Masking found no fault-tolerant program";
+      if (options.journal != nullptr) {
+        options.journal->run_end(false, result.failure_reason);
+      }
       finish();
       return result;
     }
@@ -190,6 +209,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
       result.process_deltas = std::move(deltas);
       result.stats.span_states = space.count_states(realized_span);
       result.stats.invariant_states = space.count_states(step1.invariant);
+      if (options.journal != nullptr) options.journal->run_end(true, "");
       finish();
       if (support::trace::enabled()) {
         run_span.attr("invariant_states", result.stats.invariant_states);
@@ -209,6 +229,10 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     const double banned = space.count_states(deadlocks);
     result.stats.deadlock_states_banned += banned;
     result.stats.banned_trans_nodes = extra_bad_trans.node_count();
+    if (options.journal != nullptr) {
+      options.journal->deadlock_round(deadlocks,
+                                      result.stats.banned_trans_nodes);
+    }
     support::metrics::registry().set_gauge(
         "repair.deadlock_states.round" + std::to_string(round), banned);
     LR_LOG(debug) << "[lazy] round=" << round << " banned " << banned
@@ -217,6 +241,9 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   }
 
   result.failure_reason = "outer iteration bound exceeded";
+  if (options.journal != nullptr) {
+    options.journal->run_end(false, result.failure_reason);
+  }
   finish();
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "repair/journal.hpp"
 #include "support/progress.hpp"
 #include "support/trace.hpp"
 
@@ -45,6 +46,13 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
       // behavior.
       const bdd::Bdd closed = program.realizable_subset(j, delta_j_pool);
       accepted = program.group(j, closed & tolerance);
+      if (options.journal != nullptr) {
+        options.journal->group_accepted("repair.realize", j, accepted);
+        // Everything of the pool that carried span behavior but is not in
+        // the accepted closure fell to the closure test.
+        options.journal->prune("repair.realize", "closure", j,
+                               delta_j_pool & tolerance, accepted);
+      }
     } else {
       // Lines 7-22 of Algorithm 2. The worklist is restricted to
       // transitions that start inside the span: groups made purely of
@@ -76,6 +84,10 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
         bdd::Bdd group = program.group(j, chosen);
         if (!group.leq(delta_j_pool)) {
           // Line 11: some member is missing; discard the whole group.
+          if (options.journal != nullptr) {
+            options.journal->group_rejected("repair.realize", j, "closure",
+                                            group, group, delta_j_pool);
+          }
           delta_j_pool = delta_j_pool.minus(group);
           worklist = worklist.minus(group);
           continue;
@@ -96,6 +108,9 @@ std::vector<bdd::Bdd> realize(prog::DistributedProgram& program,
           }
         }
         // Lines 19-20.
+        if (options.journal != nullptr) {
+          options.journal->group_accepted("repair.realize", j, group);
+        }
         accepted |= group;
         delta_j_pool = delta_j_pool.minus(group);
         worklist = worklist.minus(group);

@@ -10,6 +10,8 @@
 
 namespace lr::repair {
 
+class Journal;
+
 /// How Algorithm 2 decomposes a transition predicate into per-process
 /// groups.
 enum class GroupMethod {
@@ -36,6 +38,16 @@ enum class ToleranceLevel {
   /// Both: the paper's problem statement.
   kMasking,
 };
+
+/// Display name of a tolerance level ("masking", "failsafe", "nonmasking").
+[[nodiscard]] constexpr const char* tolerance_level_name(ToleranceLevel level) {
+  switch (level) {
+    case ToleranceLevel::kFailsafe: return "failsafe";
+    case ToleranceLevel::kNonmasking: return "nonmasking";
+    case ToleranceLevel::kMasking: break;
+  }
+  return "masking";
+}
 
 /// Tuning knobs shared by the repair algorithms.
 struct Options {
@@ -69,6 +81,13 @@ struct Options {
   /// cancel() or a with_timeout() deadline). Null means never cancelled.
   /// The batch executor uses this to enforce --task-timeout.
   std::shared_ptr<CancelToken> cancel;
+
+  /// Decision journal sink (see repair/journal.hpp). Null disables
+  /// journaling entirely — the algorithms emit events (and pay for the
+  /// witness extraction and state counting behind them) only when set.
+  /// Non-owning: the caller keeps the Journal alive through the run and
+  /// must not let it outlive the program's Space. Threaded like `cancel`.
+  Journal* journal = nullptr;
 };
 
 /// Measurements reported by the algorithms; the benchmark tables are

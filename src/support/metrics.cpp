@@ -58,6 +58,9 @@ Registry::Snapshot Registry::snapshot() const {
 }
 
 void Registry::write_json(std::ostream& out) const {
+  // Key order is guaranteed deterministic: counters_ and gauges_ are
+  // ordered maps, so the report lists keys sorted and two runs that record
+  // the same values emit byte-identical JSON (regression-tested).
   // Render from a snapshot so the lock is not held across stream I/O (the
   // stream may be a test's stringstream shared with other assertions).
   const Snapshot snap = snapshot();

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "bdd/witness.hpp"
 #include "support/trace.hpp"
 
 namespace lr::sym {
@@ -403,6 +404,40 @@ std::string Space::state_to_string(
     out += vars_[v].name + "=" + std::to_string(values[v]);
   }
   return out;
+}
+
+std::optional<std::vector<std::uint32_t>> Space::witness_state(
+    const bdd::Bdd& set) {
+  freeze();
+  const std::vector<signed char> bits =
+      bdd::sat_one(mgr_, set & valid_cur_);
+  if (bits.empty()) return std::nullopt;
+  std::vector<std::uint32_t> values(vars_.size(), 0u);
+  for (VarId v = 0; v < vars_.size(); ++v) {
+    for (std::uint32_t b = 0; b < vars_[v].bits; ++b) {
+      // Don't-care bits stay 0: any value on the chosen path satisfies the
+      // predicate, and 0 keeps the value inside every domain.
+      if (bits[vars_[v].cur_bits[b]] == 1) values[v] |= 1u << b;
+    }
+  }
+  return values;
+}
+
+std::optional<std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>>
+Space::witness_transition(const bdd::Bdd& rel) {
+  freeze();
+  const std::vector<signed char> bits =
+      bdd::sat_one(mgr_, rel & valid_cur_ & valid_next_);
+  if (bits.empty()) return std::nullopt;
+  std::vector<std::uint32_t> from(vars_.size(), 0u);
+  std::vector<std::uint32_t> to(vars_.size(), 0u);
+  for (VarId v = 0; v < vars_.size(); ++v) {
+    for (std::uint32_t b = 0; b < vars_[v].bits; ++b) {
+      if (bits[vars_[v].cur_bits[b]] == 1) from[v] |= 1u << b;
+      if (bits[vars_[v].next_bits[b]] == 1) to[v] |= 1u << b;
+    }
+  }
+  return std::make_pair(std::move(from), std::move(to));
 }
 
 }  // namespace lr::sym

@@ -5,6 +5,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -178,6 +179,18 @@ class Space {
   /// Human-readable "name=value, ..." rendering of a concrete state.
   [[nodiscard]] std::string state_to_string(
       std::span<const std::uint32_t> values) const;
+
+  /// One concrete valid state of `set` (nullopt when empty), decoded to
+  /// per-variable values. Deterministic: bdd::sat_one path, don't-care
+  /// bits fixed to 0 — the journal's witness-state extractor.
+  [[nodiscard]] std::optional<std::vector<std::uint32_t>> witness_state(
+      const bdd::Bdd& set);
+
+  /// One concrete valid (from, to) transition of `rel` (nullopt when
+  /// empty), decoded like witness_state.
+  [[nodiscard]] std::optional<
+      std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>>
+  witness_transition(const bdd::Bdd& rel);
 
   /// The underlying BDD manager (tests, statistics).
   [[nodiscard]] bdd::Manager& manager() noexcept { return mgr_; }

@@ -263,6 +263,43 @@ TEST(CliGoldenTest_LrReport, DiffTableMatchesGoldenAndPasses) {
   std::remove(current.c_str());
 }
 
+TEST(CliGoldenTest_LrReport, ZeroBaselineAndOneSidedKeysReportNa) {
+  // A zero baseline must print "n/a" (never inf or a division), and a key
+  // present on only one side must still be listed with "n/a" on the other
+  // — not silently skipped.
+  const std::string baseline = ::testing::TempDir() + "lr_report_na_base.json";
+  const std::string current = ::testing::TempDir() + "lr_report_na_cur.json";
+  {
+    std::ofstream out(baseline);
+    out << "{\n  \"counters\": {\n    \"a.zero\": 0,\n    \"only.base\": 5\n"
+        << "  },\n  \"gauges\": {\n    \"bench.wall_seconds\": 10\n  }\n}\n";
+  }
+  {
+    std::ofstream out(current);
+    out << "{\n  \"counters\": {\n    \"a.zero\": 3,\n    \"only.cur\": 7\n"
+        << "  },\n  \"gauges\": {\n    \"bench.wall_seconds\": 10\n  }\n}\n";
+  }
+  const CliRun run = run_command(lr_report_path() + " " + baseline + " " +
+                                 current + " --all 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("a.zero"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("only.base"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("only.cur"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("n/a"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("inf"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("nan"), std::string::npos) << run.output;
+
+  // A zero-baseline gate with a nonzero current is a regression (the
+  // metric appeared), reported with an n/a ratio — not an exception.
+  const CliRun gate = run_command(lr_report_path() + " " + baseline + " " +
+                                  current + " --key=a.zero 2>/dev/null");
+  EXPECT_EQ(gate.exit_code, 1) << gate.output;
+  EXPECT_NE(gate.output.find("gate: a.zero ratio n/a"), std::string::npos)
+      << gate.output;
+  std::remove(baseline.c_str());
+  std::remove(current.c_str());
+}
+
 TEST(CliGoldenTest_LrReport, RegressionBeyondMaxRatioFails) {
   const std::string baseline = write_report("lr_report_base2.json", 10.0, 4);
   const std::string doctored = write_report("lr_report_bad.json", 30.0, 4);
@@ -284,6 +321,104 @@ TEST(CliGoldenTest_LrReport, RegressionBeyondMaxRatioFails) {
   EXPECT_EQ(missing.exit_code, 2);
   std::remove(baseline.c_str());
   std::remove(doctored.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Repair decision journal (--journal / --explain)
+
+TEST(CliGoldenTest_Journal, ExplainNarrativeMatchesGolden) {
+  const CliRun run = run_cli(models_dir() + "/tmr.lr --explain");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  expect_matches_golden(normalize_stdout(run.output),
+                        "tmr_explain.stdout.golden");
+}
+
+TEST(CliGoldenTest_Journal, JournalJsonlMatchesGolden) {
+  // The journal carries no timing and no machine-local paths, so the
+  // golden is byte-exact with no normalization at all.
+  const std::string path =
+      ::testing::TempDir() + "cli_golden_tmr.journal.jsonl";
+  const CliRun run = run_cli(models_dir() + "/tmr.lr --journal=" + path);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  const std::string journal = read_file(path);
+  ASSERT_FALSE(journal.empty()) << "no journal at " << path;
+  expect_matches_golden(journal, "tmr.journal.golden");
+  std::remove(path.c_str());
+}
+
+TEST(CliGoldenTest_Journal, BatchJournalsAreByteIdenticalAcrossJobs) {
+  // With --batch, --journal=DIR writes one NAME.journal.jsonl per model;
+  // the contents depend only on the task, never on scheduling, so the
+  // files must be byte-identical across --jobs counts.
+  const std::string dir1 = ::testing::TempDir() + "cli_golden_journal_j1";
+  const std::string dir8 = ::testing::TempDir() + "cli_golden_journal_j8";
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir8);
+  const CliRun jobs1 =
+      run_cli("--batch " + models_dir() + " --jobs 1 --journal=" + dir1);
+  const CliRun jobs8 =
+      run_cli("--batch " + models_dir() + " --jobs 8 --journal=" + dir8);
+  EXPECT_EQ(jobs1.exit_code, 0);
+  EXPECT_EQ(jobs8.exit_code, 0);
+  std::size_t compared = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir1)) {
+    const std::string name = entry.path().filename().string();
+    const std::string a = read_file(entry.path().string());
+    const std::string b = read_file(dir8 + "/" + name);
+    ASSERT_FALSE(a.empty()) << name;
+    EXPECT_EQ(a, b) << name << " differs between --jobs 1 and --jobs 8";
+    ++compared;
+  }
+  const auto count_files = [](const std::string& dir) {
+    std::size_t n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(compared, 2u);  // quickstart, tmr, mutex_ring, ...
+  EXPECT_EQ(compared, count_files(dir8));
+  std::filesystem::remove_all(dir1);
+  std::filesystem::remove_all(dir8);
+}
+
+TEST(CliGoldenTest_Journal, ExplainWithBatchIsRejected) {
+  const CliRun run = run_cli("--batch " + models_dir() + " --explain");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(CliGoldenTest_Journal, JournalDiffShowsCautiousPruningEarlier) {
+  // The paper's contrast as a CLI round trip: repair mutex_ring with both
+  // algorithms, diff the journals with lr_report --journal, and pin the
+  // table showing cautious pruning strictly more transitions before the
+  // Repair phase (lazy prunes none there).
+  const std::string lazy_path = ::testing::TempDir() + "lr_mutex_lazy.jsonl";
+  const std::string cautious_path =
+      ::testing::TempDir() + "lr_mutex_cautious.jsonl";
+  const CliRun lazy =
+      run_cli(models_dir() + "/mutex_ring.lr --journal=" + lazy_path);
+  EXPECT_EQ(lazy.exit_code, 0) << lazy.output;
+  const CliRun cautious = run_cli(models_dir() +
+                                  "/mutex_ring.lr --cautious --journal=" +
+                                  cautious_path);
+  // Cautious fails on mutex_ring (its closure discipline empties the
+  // invariant) — nonzero exit, but the journal is still written.
+  EXPECT_NE(cautious.exit_code, 0);
+  const CliRun diff =
+      run_command(lr_report_path() + " --journal " + lazy_path + " " +
+                  cautious_path + " 2>/dev/null");
+  EXPECT_EQ(diff.exit_code, 0) << diff.output;
+  std::string stable = diff.output;
+  for (const std::string& path : {lazy_path, cautious_path}) {
+    for (std::size_t at = stable.find(path); at != std::string::npos;
+         at = stable.find(path)) {
+      stable.replace(at, path.size(), "<journal>");
+    }
+  }
+  expect_matches_golden(stable, "lr_report_journal_diff.golden");
+  std::remove(lazy_path.c_str());
+  std::remove(cautious_path.c_str());
 }
 
 }  // namespace

@@ -18,15 +18,18 @@ Topology topology_from_env() {
   if (value != nullptr && std::strcmp(value, "ring") == 0) {
     return Topology::kRing;
   }
+  if (value != nullptr && std::strcmp(value, "tree") == 0) {
+    return Topology::kTree;
+  }
   return Topology::kRandom;
 }
 
 std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
   const Topology topology = topology_from_env();
   auto p = std::make_unique<DistributedProgram>("fuzz");
-  // Ring: one variable per process, so nvars is fixed by nproc below.
+  // Ring/tree: one variable per process, so nvars is fixed by nproc below.
   const std::size_t nvars =
-      topology == Topology::kRing ? 3 + rng.below(2) : 2 + rng.below(2);
+      topology == Topology::kRandom ? 2 + rng.below(2) : 3 + rng.below(2);
   std::vector<sym::VarId> vars;
   std::vector<std::uint32_t> domains;
   for (std::size_t v = 0; v < nvars; ++v) {
@@ -49,7 +52,7 @@ std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
   };
 
   const std::size_t nproc =
-      topology == Topology::kRing ? nvars : 1 + rng.below(3);
+      topology == Topology::kRandom ? 1 + rng.below(3) : nvars;
   for (std::size_t j = 0; j < nproc; ++j) {
     prog::Process proc;
     proc.name = "p" + std::to_string(j);
@@ -61,6 +64,12 @@ std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
       writes[j] = true;
       reads[j] = true;
       reads[(j + nvars - 1) % nvars] = true;
+    } else if (topology == Topology::kTree) {
+      // Process j owns v_j and watches its parent (j-1)/2 in the rooted
+      // binary tree; the root (j = 0) reads only its own variable.
+      writes[j] = true;
+      reads[j] = true;
+      if (j > 0) reads[(j - 1) / 2] = true;
     } else {
       // Writes: one or two variables; reads: writes + random others.
       writes[rng.below(nvars)] = true;

@@ -19,11 +19,15 @@ enum class Topology {
   kRandom,  ///< independent random reads/writes per process (the default)
   kRing,    ///< process i owns v_i, reads {v_{i-1 mod n}, v_i} — token-ring
             ///< shaped models with the locality the lazy groups exploit
+  kTree,    ///< process i owns v_i, reads {v_parent(i), v_i} where
+            ///< parent(i) = (i-1)/2 — rooted-binary-tree models (the root
+            ///< reads only its own variable), the hierarchy shape of
+            ///< diffusing-computation case studies
 };
 
 /// Topology selected by the LR_FUZZ_TOPOLOGY environment variable
-/// ("ring" -> kRing; unset or anything else -> kRandom). Read once per
-/// call so a harness can flip it between shards.
+/// ("ring" -> kRing, "tree" -> kTree; unset or anything else -> kRandom).
+/// Read once per call so a harness can flip it between shards.
 [[nodiscard]] Topology topology_from_env();
 
 /// Builds a random program: 2-3 variables of domain 2-3, 1-3 processes
@@ -31,9 +35,9 @@ enum class Topology {
 /// actions, a random nonempty invariant and a random (possibly empty)
 /// safety specification. The distribution is tuned so a healthy fraction
 /// of draws is repairable — a sweep that never succeeds tests nothing.
-/// Honors LR_FUZZ_TOPOLOGY (see topology_from_env); kRing fixes the
-/// variable/process structure to a directed ring and randomizes only the
-/// guarded commands, faults and specification.
+/// Honors LR_FUZZ_TOPOLOGY (see topology_from_env); kRing and kTree fix
+/// the variable/process structure (directed ring / rooted binary tree)
+/// and randomize only the guarded commands, faults and specification.
 std::unique_ptr<prog::DistributedProgram> random_program(
     support::SplitMix64& rng);
 

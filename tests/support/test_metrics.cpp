@@ -99,6 +99,39 @@ TEST(MetricsTest, EmptyRegistrySerializesToEmptyFamilies) {
   EXPECT_TRUE(gauges->object.empty());
 }
 
+TEST(MetricsTest, ReportKeysAreSortedAndByteDeterministic) {
+  // Two registries fed the same values in different orders must serialize
+  // byte-identically, with keys in sorted order — the guarantee the
+  // bench-regression diffing (lr_report) and the CI artifacts rely on.
+  Registry a;
+  a.add("z.counter", 7);
+  a.add("a.counter", 1);
+  a.set_gauge("m.gauge", 2.5);
+  a.set_gauge("b.gauge", 0.125);
+
+  Registry b;
+  b.set_gauge("b.gauge", 0.125);
+  b.add("a.counter", 1);
+  b.set_gauge("m.gauge", 2.5);
+  b.add("z.counter", 7);
+
+  const std::string json_a = a.to_json();
+  EXPECT_EQ(json_a, b.to_json());
+
+  // Sorted key order within each family, by construction.
+  EXPECT_LT(json_a.find("a.counter"), json_a.find("z.counter"));
+  EXPECT_LT(json_a.find("b.gauge"), json_a.find("m.gauge"));
+
+  // A separate identical run (fresh registry, same recording) is also
+  // byte-identical — serialization has no hidden run-local state.
+  Registry c;
+  c.add("z.counter", 7);
+  c.add("a.counter", 1);
+  c.set_gauge("m.gauge", 2.5);
+  c.set_gauge("b.gauge", 0.125);
+  EXPECT_EQ(json_a, c.to_json());
+}
+
 TEST(MetricsTest, GlobalRegistryIsASingleton) {
   registry().add("metrics_test.singleton_probe", 2);
   EXPECT_GE(registry().counter("metrics_test.singleton_probe"), 2u);
