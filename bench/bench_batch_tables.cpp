@@ -4,13 +4,18 @@
 // (see EXPERIMENTS.md "Benchmark baseline").
 //
 // Usage:
-//   bench_batch_tables [--jobs=N] [--compare-jobs=M]
+//   bench_batch_tables [--jobs=N] [--compare-jobs=M] [--par-intra=K]
 //                      [--metrics-json=FILE] [--trace-out=FILE]
 //
 // --compare-jobs runs the sweep a second time at M jobs and reports the
 // wall-clock ratio (the batching speedup; meaningful only on multi-core
 // hardware — this is the number the ROADMAP's scaling trajectory tracks).
+//
+// --par-intra shards image/preimage and group enumeration *inside* each
+// task across K workers (repair::Options::intra_jobs); jobs * K is clamped
+// to the machine by the batch executor.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -37,8 +42,12 @@ int main(int argc, char** argv) {
       "jobs",
       static_cast<std::int64_t>(lr::support::ThreadPool::hardware_threads())));
 
+  const auto intra = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("par-intra", 0)));
+
   lr::repair::BatchOptions options;
   options.jobs = jobs == 0 ? 1 : jobs;
+  options.intra_jobs = intra;
   options.metrics_prefix = "bench";
   const lr::repair::BatchReport report =
       lr::repair::run_batch(tasks, options);
@@ -65,6 +74,7 @@ int main(int argc, char** argv) {
   if (compare_jobs > 0) {
     lr::repair::BatchOptions compare_options;
     compare_options.jobs = static_cast<std::size_t>(compare_jobs);
+    compare_options.intra_jobs = intra;
     compare_options.record_metrics = false;  // keep per-task keys from run 1
     const lr::repair::BatchReport compare =
         lr::repair::run_batch(tasks, compare_options);

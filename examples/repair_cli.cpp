@@ -78,6 +78,8 @@ int run_batch_mode(const lr::support::CommandLine& cli,
       1, cli.get_int("jobs",
                      static_cast<std::int64_t>(
                          lr::support::ThreadPool::hardware_threads()))));
+  batch_options.intra_jobs = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("par-intra", 0)));
   batch_options.task_timeout_seconds =
       std::atof(cli.get("task-timeout", "0").c_str());
   batch_options.task_retries = static_cast<std::size_t>(
@@ -276,6 +278,8 @@ int main(int argc, char** argv) {
     options.group_method = lr::repair::GroupMethod::kOneShot;
   }
   if (cli.has("no-heuristic")) options.restrict_to_reachable = false;
+  options.intra_jobs = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("par-intra", 1)));
   const std::string level = cli.get("level", "masking");
   if (level == "failsafe") {
     options.level = lr::repair::ToleranceLevel::kFailsafe;

@@ -105,6 +105,10 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
                                tolerance_level_name(options.level));
   }
 
+  // Sharded image/preimage: the cautious fixpoints all funnel through
+  // Space::preimage, which auto-partitions large relations when enabled.
+  space.enable_intra(options.intra_jobs);
+
   const std::size_t nproc = program.process_count();
   const bdd::Bdd delta_p = program.program_delta();
   const bdd::Bdd faults = program.fault_delta();

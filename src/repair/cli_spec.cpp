@@ -6,6 +6,11 @@ const std::vector<support::FlagSpec>& repair_cli_flag_specs() {
   static const std::vector<support::FlagSpec> specs = {
       {"batch", "DIR", "repair every DIR/*.lr on a thread pool"},
       {"jobs", "N", "batch worker threads (default: hardware)"},
+      {"par-intra", "N",
+       "intra-problem workers: shard image/preimage and\n"
+       "enumerate per-process groups in parallel; results are\n"
+       "bit-identical to sequential (default 1). With --batch,\n"
+       "jobs*par-intra is clamped to the machine"},
       {"resume", "",
        "batch: skip tasks whose checkpoint manifest row and\n"
        "exported repaired model still validate; re-run the rest"},

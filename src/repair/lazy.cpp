@@ -1,6 +1,7 @@
 #include "repair/lazy.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "repair/add_masking.hpp"
 #include "repair/journal.hpp"
@@ -28,15 +29,41 @@ void eliminate_livelocks(prog::DistributedProgram& program,
   LR_TRACE_SPAN("lazy_repair.eliminate_livelocks");
   sym::Space& space = program.space();
   const bdd::Bdd outside = span.minus(invariant);
+  // Intra mode runs the νZ below on its own plan without changing its
+  // value (the fixpoint is canonical; the sequential path cannot be
+  // touched because its op sequence must stay byte-stable): the descent is
+  // kept monolithic on the main manager, and successive passes warm-seed
+  // from the previous fixpoint — pruning only shrinks the deltas, so each
+  // pass's greatest fixpoint is contained in the previous pass's and the
+  // descent may start there instead of from `outside`.
+  const bool sharded = space.intra_jobs() > 1;
+  bdd::Bdd warm_seed = outside;
   for (std::size_t pass = 0; pass < 2 * deltas.size() + 2; ++pass) {
     throw_if_cancelled(options.cancel);
     bdd::Bdd actions = space.bdd_false();
     for (const bdd::Bdd& dj : deltas) actions |= dj;
     bdd::Bdd cycle_states = outside;
-    while (true) {
-      const bdd::Bdd shrunk = space.has_successor_in(actions, cycle_states);
-      if (shrunk == cycle_states) break;
-      cycle_states = shrunk;
+    if (sharded) {
+      // The νZ iterate changes little per step, so the main op cache
+      // absorbs repeat iterations almost entirely; sharding would
+      // re-materialize every per-piece preimage each iteration. Run it
+      // monolithically, warm-seeded from the previous pass: pruning only
+      // ever shrinks the relation, so the old fixpoint over-approximates
+      // the new one and the descent reaches the same νZ from there.
+      bdd::Bdd z = warm_seed;
+      while (true) {
+        const bdd::Bdd shrunk = space.has_successor_in_local(actions, z);
+        if (shrunk == z) break;
+        z = shrunk;
+      }
+      cycle_states = z;
+      warm_seed = z;
+    } else {
+      while (true) {
+        const bdd::Bdd shrunk = space.has_successor_in(actions, cycle_states);
+        if (shrunk == cycle_states) break;
+        cycle_states = shrunk;
+      }
     }
     if (cycle_states.is_false()) break;
     const bdd::Bdd on_cycle = cycle_states & space.prime(cycle_states);
@@ -94,6 +121,7 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     (void)program.program_delta();  // compile everything first
     (void)space.manager().reorder_sifting();
   }
+  space.enable_intra(options.intra_jobs);
 
   bdd::Bdd candidate_invariant = program.invariant();
   bdd::Bdd extra_bad_trans = space.bdd_false();
@@ -178,8 +206,16 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     // dead set in one round replaces the paper's one-layer-per-iteration
     // peeling; branch transitions from alive states into the dead region
     // are banned too, which is exactly the paper's Line 11.
-    bdd::Bdd realized = step1.delta & identity;
-    for (const bdd::Bdd& dj : deltas) realized |= dj;
+    // The monolithic union is only needed off the partitioned path; build
+    // it before the span opens so its work lands in step2, exactly where
+    // the sequential profile has always charged it.
+    const bool partitioned_nu = space.intra_jobs() > 1 &&
+                                options.level != ToleranceLevel::kFailsafe;
+    bdd::Bdd realized = space.bdd_false();
+    if (!partitioned_nu) {
+      realized = step1.delta & identity;
+      for (const bdd::Bdd& dj : deltas) realized |= dj;
+    }
     LR_TRACE_SPAN_NAMED(dl_span, "lazy_repair.deadlock_check");
     bdd::Bdd deadlocks;
     if (options.level == ToleranceLevel::kFailsafe) {
@@ -189,6 +225,20 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
       const bdd::Bdd enabled =
           space.manager().exists(realized, space.cube(sym::Version::kNext));
       deadlocks = step1.invariant.minus(enabled);
+    } else if (partitioned_nu) {
+      // Partitioned νZ: {δ' ∩ id} ∪ {δ_j} as disjuncts, same fixpoint as
+      // the monolithic union below, per-step products stay small.
+      std::vector<bdd::Bdd> realized_parts{step1.delta & identity};
+      realized_parts.insert(realized_parts.end(), deltas.begin(),
+                            deltas.end());
+      bdd::Bdd alive = realized_span;
+      while (true) {
+        const bdd::Bdd shrunk = space.has_successor_in(
+            std::span<const bdd::Bdd>(realized_parts), alive);
+        if (shrunk == alive) break;
+        alive = shrunk;
+      }
+      deadlocks = realized_span.minus(alive);
     } else {
       bdd::Bdd alive = realized_span;
       while (true) {

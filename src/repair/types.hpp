@@ -75,6 +75,14 @@ struct Options {
   /// converge in 1-2 iterations).
   std::size_t max_outer_iterations = 64;
 
+  /// Intra-problem worker count (--par-intra). With >= 2, image/preimage
+  /// computation shards the transition relation across a per-problem
+  /// worker pool and realize() enumerates per-process groups in parallel;
+  /// results, journals and exports are bit-identical to the sequential
+  /// path (BDD canonicity; decisions commit in canonical order). 1 or 0
+  /// means fully sequential.
+  std::size_t intra_jobs = 1;
+
   /// Cooperative cancellation: when set, the lazy/cautious/add_masking/
   /// realize loops call throw_if_cancelled() at fixpoint-round granularity
   /// and abort with repair::Cancelled once the token expires (explicit

@@ -6,6 +6,7 @@
 
 #include "bdd/witness.hpp"
 #include "support/trace.hpp"
+#include "symbolic/intra.hpp"
 
 namespace lr::sym {
 
@@ -25,6 +26,8 @@ std::uint32_t bits_for_domain(std::uint32_t domain) {
 }  // namespace
 
 Space::Space(bdd::Manager::Options options) : mgr_(options) {}
+
+Space::~Space() = default;
 
 VarId Space::add_variable(std::string name, std::uint32_t domain) {
   if (frozen_) {
@@ -86,6 +89,11 @@ void Space::freeze() {
     }
   }
   swap_perm_ = mgr_.register_permutation(perm);
+  // Keep the raw structures around: enable_intra mirrors them into every
+  // worker manager.
+  cur_bit_list_ = std::move(cur);
+  next_bit_list_ = std::move(next);
+  swap_perm_vec_ = std::move(perm);
   // Domain-validity constraints and the identity relation.
   valid_cur_ = mgr_.bdd_true();
   valid_next_ = mgr_.bdd_true();
@@ -220,12 +228,44 @@ bdd::Bdd Space::unprime(const bdd::Bdd& state) {
 
 bdd::Bdd Space::image(const bdd::Bdd& rel, const bdd::Bdd& from) {
   freeze();
+  if (intra_ != nullptr) {
+    // Copy the cached pieces: the engine may trim its caches on a later
+    // call, and local handles keep the split alive regardless.
+    const std::vector<bdd::Bdd> pieces =
+        intra_->split_relation(rel, 2 * intra_->jobs());
+    if (pieces.size() > 1) return intra_->image(pieces, from);
+  }
   return unprime(mgr_.and_exists(rel, from, cube_cur_));
 }
 
 bdd::Bdd Space::preimage(const bdd::Bdd& rel, const bdd::Bdd& to) {
   freeze();
+  if (intra_ != nullptr) {
+    const std::vector<bdd::Bdd> pieces =
+        intra_->split_relation(rel, 2 * intra_->jobs());
+    if (pieces.size() > 1) return intra_->preimage(pieces, prime(to));
+  }
   return mgr_.and_exists(rel, prime(to), cube_next_);
+}
+
+bdd::Bdd Space::image(std::span<const bdd::Bdd> rels, const bdd::Bdd& from) {
+  freeze();
+  if (intra_ != nullptr && rels.size() > 1) return intra_->image(rels, from);
+  // Sequential reduction in partition order — the reference the sharded
+  // path must match bit-for-bit (it does: BDDs are canonical).
+  bdd::Bdd result = mgr_.bdd_false();
+  for (const bdd::Bdd& rel : rels) result |= image(rel, from);
+  return result;
+}
+
+bdd::Bdd Space::preimage(std::span<const bdd::Bdd> rels, const bdd::Bdd& to) {
+  freeze();
+  if (intra_ != nullptr && rels.size() > 1) {
+    return intra_->preimage(rels, prime(to));
+  }
+  bdd::Bdd result = mgr_.bdd_false();
+  for (const bdd::Bdd& rel : rels) result |= preimage(rel, to);
+  return result;
 }
 
 bdd::Bdd Space::forward_reachable(const bdd::Bdd& rel, const bdd::Bdd& from) {
@@ -294,6 +334,32 @@ bdd::Bdd Space::backward_reachable(const bdd::Bdd& rel, const bdd::Bdd& to) {
 
 bdd::Bdd Space::has_successor_in(const bdd::Bdd& rel, const bdd::Bdd& set) {
   return set & preimage(rel, set);
+}
+
+bdd::Bdd Space::has_successor_in(std::span<const bdd::Bdd> rels,
+                                 const bdd::Bdd& set) {
+  return set & preimage(rels, set);
+}
+
+bdd::Bdd Space::has_successor_in_local(const bdd::Bdd& rel,
+                                       const bdd::Bdd& set) {
+  freeze();
+  return set & mgr_.and_exists(rel, prime(set), cube_next_);
+}
+
+void Space::enable_intra(std::size_t jobs) {
+  freeze();
+  if (jobs <= 1) {
+    intra_.reset();
+    return;
+  }
+  if (intra_ != nullptr && intra_->jobs() == jobs) return;
+  intra_ = std::make_unique<IntraEngine>(mgr_, jobs, cur_bit_list_,
+                                         next_bit_list_, swap_perm_vec_);
+}
+
+std::size_t Space::intra_jobs() const noexcept {
+  return intra_ != nullptr ? intra_->jobs() : 1;
 }
 
 double Space::count_states(const bdd::Bdd& set) {

@@ -8,9 +8,13 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "bdd/bdd.hpp"
 
 namespace lr::sym {
+
+class IntraEngine;
 
 /// Identifier of a finite-domain program variable within a Space.
 using VarId = std::uint32_t;
@@ -45,6 +49,7 @@ struct VariableInfo {
 class Space {
  public:
   explicit Space(bdd::Manager::Options options = {});
+  ~Space();  // out of line: IntraEngine is incomplete here
 
   Space(const Space&) = delete;
   Space& operator=(const Space&) = delete;
@@ -121,11 +126,25 @@ class Space {
   // --- Relational operations ------------------------------------------------------
 
   /// States reachable from `from` in exactly one step of `rel`
-  /// (a current-version state predicate).
+  /// (a current-version state predicate). With intra sharding enabled
+  /// (see enable_intra) a large relation is transparently split into
+  /// disjuncts and computed on the worker pool; the result is bit-identical
+  /// (BDD canonicity) to the sequential product.
   [[nodiscard]] bdd::Bdd image(const bdd::Bdd& rel, const bdd::Bdd& from);
 
-  /// States with at least one `rel` successor inside `to`.
+  /// States with at least one `rel` successor inside `to`. Shards like
+  /// image() when intra sharding is enabled.
   [[nodiscard]] bdd::Bdd preimage(const bdd::Bdd& rel, const bdd::Bdd& to);
+
+  /// Image over a *partitioned* relation: ∪_i image(rels[i], from).
+  /// Sequentially reduced in partition order when intra sharding is off;
+  /// dispatched onto the worker pool when on. Identical result either way.
+  [[nodiscard]] bdd::Bdd image(std::span<const bdd::Bdd> rels,
+                               const bdd::Bdd& from);
+
+  /// Preimage over a partitioned relation: ∪_i preimage(rels[i], to).
+  [[nodiscard]] bdd::Bdd preimage(std::span<const bdd::Bdd> rels,
+                                  const bdd::Bdd& to);
 
   /// Least fixpoint of `from ∪ image(rel, ·)` (forward reachability).
   [[nodiscard]] bdd::Bdd forward_reachable(const bdd::Bdd& rel,
@@ -148,6 +167,35 @@ class Space {
   /// — i.e. set ∩ preimage(rel, set). Used by livelock (νZ) fixpoints.
   [[nodiscard]] bdd::Bdd has_successor_in(const bdd::Bdd& rel,
                                           const bdd::Bdd& set);
+
+  /// Partitioned form: set ∩ ∪_i preimage(rels[i], set). The νZ fixpoints
+  /// use this to avoid ever building the monolithic ∪_i rels[i] product.
+  [[nodiscard]] bdd::Bdd has_successor_in(std::span<const bdd::Bdd> rels,
+                                          const bdd::Bdd& set);
+
+  /// has_successor_in computed monolithically on the main manager even
+  /// when intra sharding is on. Fixpoints whose iterate changes little per
+  /// step (livelock νZ) are faster this way: the main op cache absorbs
+  /// repeat iterations almost entirely, while worker dispatch would
+  /// re-materialize every per-piece preimage each iteration.
+  [[nodiscard]] bdd::Bdd has_successor_in_local(const bdd::Bdd& rel,
+                                               const bdd::Bdd& set);
+
+  // --- Intra-problem sharding ------------------------------------------------
+
+  /// Enables (jobs >= 2) or disables (jobs <= 1) work-sharded image and
+  /// preimage computation on a per-Space worker pool (see
+  /// symbolic/intra.hpp). Freezes the space. Results are bit-identical to
+  /// the sequential path in either mode; only wall-clock and memory
+  /// behavior change. Idempotent per jobs value.
+  void enable_intra(std::size_t jobs);
+
+  /// Worker count of the sharded path (1 = sequential).
+  [[nodiscard]] std::size_t intra_jobs() const noexcept;
+
+  /// The sharding engine, or nullptr when sequential. The repair layer
+  /// uses it directly for parallel per-process group enumeration.
+  [[nodiscard]] IntraEngine* intra() noexcept { return intra_.get(); }
 
   // --- Counting and enumeration -----------------------------------------------------
 
@@ -214,6 +262,11 @@ class Space {
   bdd::Bdd valid_next_;
   bdd::Bdd identity_;
   std::optional<bdd::PermId> swap_perm_;
+  // Saved for mirroring the space into intra workers.
+  std::vector<bdd::VarIndex> cur_bit_list_;
+  std::vector<bdd::VarIndex> next_bit_list_;
+  std::vector<bdd::VarIndex> swap_perm_vec_;
+  std::unique_ptr<IntraEngine> intra_;
 };
 
 }  // namespace lr::sym

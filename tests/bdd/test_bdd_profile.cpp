@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "bdd/profile.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
+#include "symbolic/space.hpp"
 
 namespace lr::bdd {
 namespace {
@@ -149,6 +152,129 @@ TEST_F(BddProfileTest, RecordMetricsMirrorsBuckets) {
   support::metrics::Registry& m = support::metrics::registry();
   EXPECT_EQ(m.counter("bddprofiletest.profile_test.metrics.apply_calls"), 1u);
   EXPECT_GE(m.gauge("bddprofiletest.profile_test.metrics.peak_nodes"), 1.0);
+}
+
+// --- Attribution under intra-problem (nested) parallelism -------------------
+//
+// A sharded Space fans image/preimage work out to worker threads whose
+// managers charge the span that was current on the dispatching thread, and
+// merges the worker profilers back after every join. Two invariants:
+//
+//  * attribution: worker-side work lands in the innermost dispatching
+//    span's bucket — never in "(unattributed)", never in an enclosing span;
+//  * conservation: re-bucketing identical work across differently-nested
+//    spans must neither create nor destroy counted work — the
+//    `bdd.<span>.*` totals over all buckets are the same whether the
+//    workload ran under one flat span or split across nested ones.
+
+namespace {
+
+constexpr std::size_t kShardProcs = 5;
+
+/// A sharded space plus the relation handles into it. `rels` is declared
+/// after `space` so the handles are released before the manager they
+/// point into is torn down.
+struct ShardedFixture {
+  std::unique_ptr<sym::Space> space;
+  std::vector<bdd::Bdd> rels;
+};
+
+ShardedFixture make_sharded_space() {
+  ShardedFixture fx;
+  fx.space = std::make_unique<sym::Space>();
+  std::vector<sym::VarId> vars;
+  for (std::size_t i = 0; i < kShardProcs; ++i) {
+    vars.push_back(fx.space->add_variable("p" + std::to_string(i), 4));
+  }
+  for (std::size_t i = 0; i < kShardProcs; ++i) {
+    bdd::Bdd rel = fx.space->vars_eq(vars[i], sym::Version::kNext,
+                                     vars[(i + 1) % kShardProcs],
+                                     sym::Version::kCurrent);
+    for (std::size_t j = 0; j < kShardProcs; ++j) {
+      if (j != i) rel &= fx.space->unchanged(vars[j]);
+    }
+    fx.rels.push_back(rel);
+  }
+  fx.space->enable_intra(2);
+  // Setup work (relation building) is not part of the measured workload.
+  fx.space->manager().profiler().clear();
+  return fx;
+}
+
+void sharded_workload(sym::Space& space, std::span<const bdd::Bdd> rels,
+                      bool nested) {
+  const bdd::Bdd from = space.valid(sym::Version::kCurrent);
+  if (nested) {
+    LR_TRACE_SPAN("profile_test.shard_outer");
+    (void)space.image(rels, from);
+    {
+      LR_TRACE_SPAN("profile_test.shard_inner");
+      (void)space.preimage(rels, from);
+    }
+  } else {
+    LR_TRACE_SPAN("profile_test.shard_flat");
+    (void)space.image(rels, from);
+    (void)space.preimage(rels, from);
+  }
+}
+
+}  // namespace
+
+TEST_F(BddProfileTest, ShardedWorkLandsInDispatchingSpan) {
+  ProfilingOn guard;
+  ShardedFixture fx = make_sharded_space();
+  sharded_workload(*fx.space, fx.rels, /*nested=*/true);
+
+  const auto& buckets = fx.space->manager().profiler().buckets();
+  ASSERT_TRUE(buckets.count("profile_test.shard_outer")) << "outer missing";
+  ASSERT_TRUE(buckets.count("profile_test.shard_inner")) << "inner missing";
+  EXPECT_FALSE(buckets.count("(unattributed)"))
+      << "worker-side work escaped span attribution";
+  // Each sharded call runs one and_exists per partition; the image belongs
+  // to the outer span, the preimage to the innermost one.
+  const profile::SpanCounters& outer =
+      buckets.at("profile_test.shard_outer");
+  const profile::SpanCounters& inner =
+      buckets.at("profile_test.shard_inner");
+  EXPECT_GE(outer.op(OpClass::kQuantify).calls, kShardProcs);
+  EXPECT_GE(inner.op(OpClass::kQuantify).calls, kShardProcs);
+  EXPECT_GT(outer.work_steps(), 0u);
+  EXPECT_GT(inner.work_steps(), 0u);
+}
+
+TEST_F(BddProfileTest, NestedSpansConserveShardedTotals) {
+  ProfilingOn guard;
+  // Identical workloads on two fresh, identical spaces: every BDD
+  // operation sequence is deterministic, so only the span bucketing may
+  // differ — the summed `bdd.<span>.*` totals must not.
+  ShardedFixture flat = make_sharded_space();
+  sharded_workload(*flat.space, flat.rels, /*nested=*/false);
+
+  ShardedFixture nested = make_sharded_space();
+  sharded_workload(*nested.space, nested.rels, /*nested=*/true);
+
+  const profile::SpanCounters a = flat.space->manager().profiler().totals();
+  const profile::SpanCounters b = nested.space->manager().profiler().totals();
+  for (unsigned c = 0; c < profile::kOpClassCount; ++c) {
+    const auto op = static_cast<OpClass>(c);
+    EXPECT_EQ(a.op(op).calls, b.op(op).calls)
+        << profile::op_class_name(op) << " calls not conserved";
+    EXPECT_EQ(a.op(op).steps, b.op(op).steps)
+        << profile::op_class_name(op) << " steps not conserved";
+  }
+  EXPECT_EQ(a.cache_lookups, b.cache_lookups);
+  EXPECT_EQ(a.created_nodes, b.created_nodes);
+
+  // And the metrics mirror sums to the same totals it was derived from.
+  profile::record_metrics(nested.space->manager().profiler(), "bddshardtest");
+  support::metrics::Registry& m = support::metrics::registry();
+  std::uint64_t mirrored = 0;
+  for (const auto& [name, counters] :
+       nested.space->manager().profiler().buckets()) {
+    mirrored += m.counter("bddshardtest." + name + ".quantify_calls");
+    (void)counters;
+  }
+  EXPECT_EQ(mirrored, b.op(OpClass::kQuantify).calls);
 }
 
 TEST_F(BddProfileTest, MergeAggregatesAcrossProfilers) {

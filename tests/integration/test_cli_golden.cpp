@@ -143,6 +143,27 @@ TEST(CliGoldenTest_Batch, BatchStdoutMatchesGoldenAndIsJobIndependent) {
   expect_matches_golden(stable, "batch.stdout.golden");
 }
 
+TEST(CliGoldenTest_Batch, BatchWithIntraShardingIsJobIndependent) {
+  // Intra-problem sharding must not leak into any reported result: a
+  // sweep running two tasks concurrently, each sharded over two intra
+  // workers, prints byte-identical stdout to the fully sequential sweep —
+  // and both match the same committed golden.
+  const CliRun seq = run_cli("--batch " + models_dir() + " --jobs 1");
+  const CliRun par =
+      run_cli("--batch " + models_dir() + " --jobs 2 --par-intra=2");
+  EXPECT_EQ(seq.exit_code, 0);
+  EXPECT_EQ(par.exit_code, 0);
+  EXPECT_EQ(seq.output, par.output)
+      << "--par-intra changed a batch-reported result";
+  std::string stable = par.output;
+  const std::string dir = models_dir();
+  for (std::size_t at = stable.find(dir); at != std::string::npos;
+       at = stable.find(dir)) {
+    stable.replace(at, dir.size(), "<models>");
+  }
+  expect_matches_golden(stable, "batch.stdout.golden");
+}
+
 TEST(CliGoldenTest_Batch, FailingTaskYieldsNonzeroExitAndFailureSummary) {
   // A sweep with one poisoned model must finish the healthy ones, print a
   // one-line failure summary and exit nonzero — not abort the sweep.
