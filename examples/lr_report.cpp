@@ -1,20 +1,26 @@
-// Compares two --metrics-json run reports and gates on regressions, or
-// diffs two repair decision journals.
+// Compares two --metrics-json run reports and gates on regressions, diffs
+// two repair decision journals, or diffs two collapsed flamegraphs.
 //
 // Usage:
 //   lr_report BASELINE.json CURRENT.json [options]
 //   lr_report CURRENT.json [options]          (baseline: BENCH_seed.json)
 //   lr_report --journal A.jsonl B.jsonl       (decision-journal diff)
+//   lr_report --flame A.collapsed B.collapsed (call-path profile diff)
 //
 //   --key=NAME        gate metric (default bench.wall_seconds)
 //   --max-ratio=R     fail when current/baseline of the gate metric
-//                     exceeds R (default 2.0)
+//                     exceeds R (default 2.0); with --flame the gate is
+//                     the total collapsed weight
 //   --filter=SUBSTR   only list keys containing SUBSTR
 //   --all             list every shared key (default: only keys whose
 //                     ratio moved by >= 10%, plus the gate metric)
+//   --top=N           with --flame: list the N fastest-growing and
+//                     fastest-shrinking call paths (default 10)
 //   --journal         treat the two positionals as repair journals
 //                     (repair_cli --journal output) and print a
 //                     side-by-side decision comparison
+//   --flame           treat the two positionals as collapsed-stack
+//                     flamegraphs (repair_cli --flamegraph output)
 //
 // Prints an aligned diff table (key, baseline, current, ratio) and exits
 // 0 when the gate metric is within bounds, 1 on a regression, 2 on a
@@ -24,6 +30,7 @@
 // runs this against the committed BENCH_seed.json so a slowdown in the
 // repair engine fails the build instead of landing silently.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,8 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/json.hpp"
@@ -211,10 +220,144 @@ int run_journal_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+/// Parses a collapsed-stack flamegraph ("a;b;c <weight>" per line) into a
+/// path -> weight map. Duplicate paths accumulate.
+bool load_collapsed(const std::string& path,
+                    std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lr_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t split = line.rfind(' ');
+    if (split == std::string::npos || split == 0) {
+      std::fprintf(stderr, "lr_report: %s:%zu: expected \"path weight\"\n",
+                   path.c_str(), line_no);
+      return false;
+    }
+    char* end = nullptr;
+    const std::string weight_text = line.substr(split + 1);
+    const double weight = std::strtod(weight_text.c_str(), &end);
+    if (end == weight_text.c_str() || *end != '\0' || weight < 0.0) {
+      std::fprintf(stderr, "lr_report: %s:%zu: bad weight '%s'\n",
+                   path.c_str(), line_no, weight_text.c_str());
+      return false;
+    }
+    out[line.substr(0, split)] += weight;
+  }
+  return true;
+}
+
+/// `--flame A B`: diff two collapsed flamegraphs — total-weight gate plus
+/// the top-N growing and shrinking call paths.
+int run_flame_diff(const std::string& path_a, const std::string& path_b,
+                   double max_ratio, std::size_t top) {
+  std::map<std::string, double> base;
+  std::map<std::string, double> cur;
+  if (!load_collapsed(path_a, base) || !load_collapsed(path_b, cur)) return 2;
+
+  double base_total = 0.0;
+  double cur_total = 0.0;
+  for (const auto& [path, weight] : base) base_total += weight;
+  for (const auto& [path, weight] : cur) cur_total += weight;
+
+  // Union of paths with signed weight deltas; one-sided paths count with
+  // an implicit 0 on the missing side (they appeared or vanished).
+  std::vector<std::pair<std::string, double>> deltas;
+  for (const auto& [path, weight] : base) {
+    const auto it = cur.find(path);
+    deltas.emplace_back(path, (it == cur.end() ? 0.0 : it->second) - weight);
+  }
+  for (const auto& [path, weight] : cur) {
+    if (base.find(path) == base.end()) deltas.emplace_back(path, weight);
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  std::printf("flame diff: %s (baseline, total %s) vs %s (total %s)\n",
+              path_a.c_str(), format_value(base_total).c_str(),
+              path_b.c_str(), format_value(cur_total).c_str());
+  const auto list = [&deltas, &base, &cur](bool growing, std::size_t limit) {
+    lr::support::Table table({"call path", "baseline", "current", "delta"});
+    std::size_t shown = 0;
+    const std::size_t n = deltas.size();
+    for (std::size_t i = 0; i < n && shown < limit; ++i) {
+      const auto& [path, delta] = deltas[growing ? i : n - 1 - i];
+      if (growing ? delta <= 0.0 : delta >= 0.0) break;
+      const auto base_it = base.find(path);
+      const auto cur_it = cur.find(path);
+      table.add_row(
+          {path,
+           base_it == base.end() ? "n/a" : format_value(base_it->second),
+           cur_it == cur.end() ? "n/a" : format_value(cur_it->second),
+           format_value(delta)});
+      ++shown;
+    }
+    return std::make_pair(std::move(table), shown);
+  };
+  auto [growing_table, growing_count] = list(true, top);
+  if (growing_count > 0) {
+    std::printf("top growing paths:\n");
+    growing_table.print(std::cout);
+  }
+  auto [shrinking_table, shrinking_count] = list(false, top);
+  if (shrinking_count > 0) {
+    std::printf("top shrinking paths:\n");
+    shrinking_table.print(std::cout);
+  }
+  if (growing_count == 0 && shrinking_count == 0) {
+    std::printf("no call-path weight changed\n");
+  }
+
+  // Same gate semantics as the metrics mode: a zero baseline with nonzero
+  // current is a regression (the profile appeared from nothing).
+  const bool gate_ok = base_total == 0.0 ? cur_total == 0.0
+                                         : cur_total / base_total <= max_ratio;
+  std::printf("gate: total weight ratio %s (max %.2f) -> %s\n",
+              format_ratio(base_total, cur_total).c_str(), max_ratio,
+              gate_ok ? "OK" : "FAIL");
+  return gate_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const lr::support::CommandLine cli(argc, argv);
+  const double max_ratio = [&cli] {
+    const std::string text = cli.get("max-ratio", "2.0");
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    return (end != text.c_str() && parsed > 0.0) ? parsed : -1.0;
+  }();
+  if (max_ratio <= 0.0) {
+    std::fprintf(stderr, "lr_report: bad --max-ratio value\n");
+    return 2;
+  }
+  if (cli.has("flame")) {
+    // Same parser quirk as --journal: "--flame A" binds A as the flag's
+    // value; the collapsed files are that value plus the positionals.
+    std::vector<std::string> paths;
+    const std::string flag_value = cli.get("flame", "");
+    if (!flag_value.empty()) paths.push_back(flag_value);
+    paths.insert(paths.end(), cli.positional().begin(),
+                 cli.positional().end());
+    if (paths.size() != 2) {
+      std::fprintf(stderr, "usage: %s --flame A.collapsed B.collapsed\n",
+                   cli.program().c_str());
+      return 2;
+    }
+    const std::size_t top = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, cli.get_int("top", 10)));
+    return run_flame_diff(paths[0], paths[1], max_ratio, top);
+  }
   if (cli.has("journal")) {
     // The parser binds "--journal A" as the flag's value; the journal
     // paths are that value (when present) plus the positionals.
@@ -248,16 +391,6 @@ int main(int argc, char** argv) {
   const std::string gate_key = cli.get("key", kDefaultKey);
   const std::string filter = cli.get("filter", "");
   const bool all = cli.has("all");
-  const double max_ratio = [&cli] {
-    const std::string text = cli.get("max-ratio", "2.0");
-    char* end = nullptr;
-    const double parsed = std::strtod(text.c_str(), &end);
-    return (end != text.c_str() && parsed > 0.0) ? parsed : -1.0;
-  }();
-  if (max_ratio <= 0.0) {
-    std::fprintf(stderr, "lr_report: bad --max-ratio value\n");
-    return 2;
-  }
 
   std::map<std::string, double> baseline;
   std::map<std::string, double> current;
@@ -268,7 +401,8 @@ int main(int argc, char** argv) {
 
   lr::support::Table table({"metric", "baseline", "current", "ratio"});
   std::size_t shared = 0;
-  std::size_t listed = 0;
+  std::size_t listed = 0;     ///< shared keys that made the table
+  std::size_t one_sided = 0;  ///< keys on one side only (always listed)
   // Union of both key sets: a key present on only one side is reported
   // with "n/a" on the other (it appeared or vanished — that is a change
   // worth listing), never silently skipped.
@@ -283,7 +417,9 @@ int main(int argc, char** argv) {
       continue;
     }
     if (base_it == baseline.end() || cur_it == current.end()) {
-      ++listed;  // one-sided keys always count as moved
+      // One-sided keys are always listed but never counted as shared:
+      // the "N of M shared keys" summary must compare like with like.
+      ++one_sided;
       table.add_row(
           {key,
            base_it == baseline.end() ? "n/a" : format_value(base_it->second),
@@ -305,7 +441,7 @@ int main(int argc, char** argv) {
   }
   std::printf("comparing %s (baseline) vs %s\n", baseline_path.c_str(),
               current_path.c_str());
-  if (listed == 0) {
+  if (listed + one_sided == 0) {
     std::printf("no %s keys to list (%zu shared)\n",
                 filter.empty() ? "moved" : "matching", shared);
   } else {

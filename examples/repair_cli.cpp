@@ -26,6 +26,7 @@
 #include <filesystem>
 #include <iostream>
 
+#include "bdd/meminfo.hpp"
 #include "bdd/profile.hpp"
 #include "casestudies/chain.hpp"
 #include "lang/parser.hpp"
@@ -269,15 +270,32 @@ int main(int argc, char** argv) {
   } else {
     lr::support::progress::init_from_env();
   }
-  // --stats grows a per-span BDD attribution table; collection must be on
-  // before any BDD work happens.
-  if (cli.has("stats")) lr::bdd::profile::set_enabled(true);
+  // --stats and --flamegraph grow the call-path BDD profile; collection
+  // must be on before any BDD work happens.
+  const std::string flame_path = cli.get("flamegraph", "");
+  lr::bdd::profile::FlameWeight flame_weight =
+      lr::bdd::profile::FlameWeight::kSteps;
+  if (cli.has("flamegraph-weight")) {
+    const std::string weight_name = cli.get("flamegraph-weight", "steps");
+    const auto parsed = lr::bdd::profile::parse_flame_weight(weight_name);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "unknown flamegraph weight '%s' (steps|seconds|nodes)\n",
+                   weight_name.c_str());
+      return 2;
+    }
+    flame_weight = *parsed;
+  }
+  if (cli.has("stats") || !flame_path.empty()) {
+    lr::bdd::profile::set_enabled(true);
+  }
 
   lr::repair::Options options;
   if (cli.has("oneshot")) {
     options.group_method = lr::repair::GroupMethod::kOneShot;
   }
   if (cli.has("no-heuristic")) options.restrict_to_reachable = false;
+  if (cli.has("sift")) options.sift_before_repair = true;
   options.intra_jobs = static_cast<std::size_t>(
       std::max<std::int64_t>(1, cli.get_int("par-intra", 1)));
   const std::string level = cli.get("level", "masking");
@@ -296,6 +314,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "--explain needs a single model (use --journal=DIR with "
                    "--batch and inspect the per-model journals)\n");
+      return 2;
+    }
+    if (!flame_path.empty()) {
+      std::fprintf(stderr,
+                   "--flamegraph needs a single model (batch tasks each have "
+                   "their own profiler)\n");
       return 2;
     }
     return run_batch_mode(cli, options, trace_path, metrics_path_early);
@@ -359,6 +383,15 @@ int main(int argc, char** argv) {
   }
 
   lr::repair::record_run_metrics(result.stats);
+  if (!flame_path.empty()) {
+    const lr::bdd::profile::Profiler& profiler =
+        program->space().manager().profiler();
+    if (!lr::bdd::profile::write_collapsed_file(profiler, flame_path,
+                                                flame_weight)) {
+      std::fprintf(stderr, "cannot write %s\n", flame_path.c_str());
+      return 1;
+    }
+  }
   const std::string metrics_path = cli.get("metrics-json", "");
   const auto write_reports = [&trace_path, &metrics_path] {
     bool ok = true;
@@ -414,6 +447,14 @@ int main(int argc, char** argv) {
       lr::bdd::profile::write_attribution_table(profiler, std::cout);
       lr::bdd::profile::record_metrics(profiler);
     }
+    const lr::bdd::Manager& manager = program->space().manager();
+    const lr::bdd::meminfo::MemInfo mem = lr::bdd::meminfo::collect(manager);
+    std::printf("\n");
+    lr::bdd::meminfo::write_report(mem, std::cout);
+    lr::bdd::meminfo::record_metrics(mem);
+    lr::bdd::meminfo::write_gc_report(manager, std::cout);
+    lr::bdd::meminfo::write_reorder_report(manager, std::cout);
+    lr::bdd::meminfo::record_reorder_metrics(manager);
   }
 
   if (explain) {

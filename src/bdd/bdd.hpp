@@ -129,6 +129,44 @@ struct ManagerStats {
   std::uint64_t unique_hits = 0;     ///< make_node found existing node
   std::uint64_t cache_lookups = 0;   ///< operation cache probes
   std::uint64_t cache_hits = 0;      ///< operation cache hits
+  std::uint64_t cache_evictions = 0; ///< live cache entries overwritten
+  std::size_t peak_bytes = 0;        ///< high-water mark of pool+table+cache bytes
+};
+
+/// What caused a garbage collection.
+enum class GcTrigger {
+  kThreshold,  ///< live nodes crossed the adaptive gc_threshold
+  kExplicit,   ///< collect_garbage() called by user code
+  kReorder,    ///< sifting collects before measuring a variable's journey
+};
+
+[[nodiscard]] const char* gc_trigger_name(GcTrigger trigger) noexcept;
+
+/// Structured record of one garbage collection (kept in Manager::gc_log()).
+struct GcRecord {
+  GcTrigger trigger = GcTrigger::kThreshold;
+  std::size_t live_before = 0;
+  std::size_t live_after = 0;
+  std::size_t reclaimed = 0;
+  double seconds = 0.0;
+};
+
+/// One variable's journey through a sifting run: where it started, where it
+/// settled, and how the live-node count changed.
+struct SiftMove {
+  VarIndex var = 0;
+  std::uint32_t start_level = 0;
+  std::uint32_t end_level = 0;
+  std::ptrdiff_t node_delta = 0;  ///< live-node change (negative = shrank)
+};
+
+/// Structured record of one reorder_sifting() run.
+struct ReorderRecord {
+  std::size_t live_before = 0;
+  std::size_t live_after = 0;
+  int passes = 0;
+  double seconds = 0.0;
+  std::vector<SiftMove> moves;  ///< one entry per variable journey, in order
 };
 
 /// A shared-node, reduced, ordered BDD manager (the CUDD substitute).
@@ -295,6 +333,52 @@ class Manager {
   /// Forces a garbage collection (also runs automatically under pressure).
   void collect_garbage();
 
+  // --- Memory & structure telemetry ------------------------------------------
+  /// Live internal nodes per *level* (index = order position). One pool
+  /// walk, no allocation beyond the result vector.
+  [[nodiscard]] std::vector<std::size_t> level_histogram() const;
+
+  /// Unique-table shape: total buckets and buckets with at least one node.
+  [[nodiscard]] std::size_t unique_bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::size_t unique_buckets_used() const;
+
+  /// Unique-table load factor (live nodes per bucket) — cheap enough for a
+  /// trace counter lane.
+  [[nodiscard]] double unique_load() const noexcept {
+    return buckets_.empty() ? 0.0
+                            : static_cast<double>(live_nodes()) /
+                                  static_cast<double>(buckets_.size());
+  }
+
+  /// Operation-cache shape: total entries and occupied entries (one walk).
+  [[nodiscard]] std::size_t cache_entry_count() const noexcept {
+    return cache_.size();
+  }
+  [[nodiscard]] std::size_t cache_entries_used() const;
+
+  /// Bytes currently held by the node pool, unique table and op cache
+  /// (container sizes, not capacities, so the figure is deterministic).
+  [[nodiscard]] std::size_t allocated_bytes() const noexcept {
+    return nodes_.size() * sizeof(Node) + buckets_.size() * sizeof(NodeId) +
+           cache_.size() * sizeof(CacheEntry);
+  }
+
+  /// Structured log of every GC this manager ran (capped; see
+  /// gc_log_dropped()).
+  [[nodiscard]] const std::vector<GcRecord>& gc_log() const noexcept {
+    return gc_log_;
+  }
+  [[nodiscard]] std::uint64_t gc_log_dropped() const noexcept {
+    return gc_log_dropped_;
+  }
+
+  /// Structured log of every reorder_sifting() run.
+  [[nodiscard]] const std::vector<ReorderRecord>& reorder_log() const noexcept {
+    return reorder_log_;
+  }
+
   // --- Concurrent read access -----------------------------------------------
   /// A decomposed view of one internal node: its variable and cofactor ids.
   /// Terminals have var == kTerminalVar.
@@ -365,7 +449,14 @@ class Manager {
   NodeId alloc_node();
   void grow_buckets();
   void maybe_gc();
+  void collect_garbage_impl(GcTrigger trigger);
   void mark(NodeId root, std::vector<NodeId>& stack);
+
+  /// Updates the peak-byte watermark after a container grew.
+  void note_peak_bytes() noexcept {
+    const std::size_t bytes = allocated_bytes();
+    if (bytes > stats_.peak_bytes) stats_.peak_bytes = bytes;
+  }
 
   /// Level of a node's variable; terminals (and the free marker) get the
   /// maximum level so ordering comparisons treat them as deepest.
@@ -422,6 +513,13 @@ class Manager {
 
   std::size_t gc_threshold_;
   bool gc_enabled_ = true;
+
+  /// Capped structured logs (observability, not correctness): once full,
+  /// further GC records only bump the dropped counter.
+  static constexpr std::size_t kMaxGcRecords = 1024;
+  std::vector<GcRecord> gc_log_;
+  std::uint64_t gc_log_dropped_ = 0;
+  std::vector<ReorderRecord> reorder_log_;
 
   std::unique_ptr<profile::Profiler> profiler_;
 

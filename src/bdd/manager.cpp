@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -31,6 +32,15 @@ inline std::size_t hash_cache(std::uint32_t op, NodeId a, NodeId b,
 }
 
 }  // namespace
+
+const char* gc_trigger_name(GcTrigger trigger) noexcept {
+  switch (trigger) {
+    case GcTrigger::kThreshold: return "threshold";
+    case GcTrigger::kExplicit: return "explicit";
+    case GcTrigger::kReorder: return "reorder";
+  }
+  return "?";
+}
 
 // --- Bdd handle --------------------------------------------------------------
 
@@ -123,6 +133,7 @@ Manager::Manager(const Options& options)
   cache_.resize(cache_size);
   cache_mask_ = cache_size - 1;
   init_pool(options.initial_capacity < 64 ? 64 : options.initial_capacity);
+  note_peak_bytes();
 }
 
 Manager::~Manager() = default;
@@ -209,7 +220,10 @@ NodeId Manager::make_node(VarIndex var, NodeId lo, NodeId hi) {
   buckets_[b] = id;
   ++stats_.created_nodes;
   const std::size_t live = nodes_.size() - 2 - free_count_;
-  if (live + 2 > stats_.peak_nodes) stats_.peak_nodes = live + 2;
+  if (live + 2 > stats_.peak_nodes) {
+    stats_.peak_nodes = live + 2;
+    note_peak_bytes();
+  }
   return id;
 }
 
@@ -226,6 +240,7 @@ void Manager::grow_buckets() {
   }
   buckets_ = std::move(fresh);
   bucket_mask_ = mask;
+  note_peak_bytes();
 }
 
 std::size_t Manager::unique_bucket(VarIndex var, NodeId lo,
@@ -247,7 +262,7 @@ std::size_t Manager::live_nodes() const noexcept {
 void Manager::maybe_gc() {
   if (!gc_enabled_) return;
   if (live_nodes() < gc_threshold_) return;
-  collect_garbage();
+  collect_garbage_impl(GcTrigger::kThreshold);
   // If the collection freed little, raise the threshold so we do not thrash.
   if (live_nodes() * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
 }
@@ -268,12 +283,15 @@ void Manager::mark(NodeId root, std::vector<NodeId>& stack) {
   }
 }
 
-void Manager::collect_garbage() {
+void Manager::collect_garbage() { collect_garbage_impl(GcTrigger::kExplicit); }
+
+void Manager::collect_garbage_impl(GcTrigger trigger) {
   // Nested inside whatever operation triggered the collection: the depth
   // guard keeps the outer hook as the sole accountant, so this only charges
   // for explicitly requested collections.
   profile::ScopedOp profiled(*this, profile::OpClass::kGc);
   LR_TRACE_SPAN_NAMED(span, "bdd.gc");
+  const auto gc_start = std::chrono::steady_clock::now();
   const std::size_t live_before = live_nodes();
   ++stats_.gc_runs;
   std::vector<NodeId> stack;
@@ -315,10 +333,49 @@ void Manager::collect_garbage() {
   // Stale cache entries may reference freed slots; drop everything.
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
   stats_.live_nodes = live_nodes();
+  const double gc_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - gc_start)
+          .count();
+  if (gc_log_.size() < kMaxGcRecords) {
+    GcRecord record;
+    record.trigger = trigger;
+    record.live_before = live_before;
+    record.live_after = stats_.live_nodes;
+    record.reclaimed = live_before - stats_.live_nodes;
+    record.seconds = gc_seconds;
+    gc_log_.push_back(record);
+  } else {
+    ++gc_log_dropped_;
+  }
   if (support::trace::enabled()) {
+    span.attr("trigger", std::string_view(gc_trigger_name(trigger)));
     span.attr("live_before", static_cast<std::uint64_t>(live_before));
     span.attr("live_after", static_cast<std::uint64_t>(stats_.live_nodes));
   }
+}
+
+// --- Memory & structure telemetry --------------------------------------------
+
+std::vector<std::size_t> Manager::level_histogram() const {
+  std::vector<std::size_t> hist(num_vars_, 0);
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    const VarIndex var = nodes_[id].var;
+    if (var == kFreeVar || var == kTerminalVar) continue;
+    ++hist[level_of_var_[var]];
+  }
+  return hist;
+}
+
+std::size_t Manager::unique_buckets_used() const {
+  std::size_t used = 0;
+  for (const NodeId head : buckets_) used += head != kFalseId ? 1 : 0;
+  return used;
+}
+
+std::size_t Manager::cache_entries_used() const {
+  std::size_t used = 0;
+  for (const CacheEntry& e : cache_) used += e.op != kOpNone ? 1 : 0;
+  return used;
 }
 
 // --- Operation cache -----------------------------------------------------------
@@ -338,6 +395,9 @@ bool Manager::cache_get(std::uint32_t op, NodeId a, NodeId b, NodeId c,
 void Manager::cache_put(std::uint32_t op, NodeId a, NodeId b, NodeId c,
                         NodeId result) {
   CacheEntry& e = cache_[hash_cache(op, a, b, c) & cache_mask_];
+  if (e.op != kOpNone && (e.op != op || e.a != a || e.b != b || e.c != c)) {
+    ++stats_.cache_evictions;  // direct-mapped: a different live key dies here
+  }
   e.op = op;
   e.a = a;
   e.b = b;

@@ -1,8 +1,12 @@
 #include "bdd/profile.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -77,40 +81,117 @@ void set_enabled(bool on) {
   support::trace::keep_span_stack(on);
 }
 
-SpanCounters& Profiler::bucket(const char* span_name) {
-  if (span_name == nullptr) span_name = kUnattributed;
-  if (span_name == last_name_) return *last_bucket_;
-  SpanCounters& found = buckets_[span_name];
-  last_name_ = span_name;
-  last_bucket_ = &found;
-  return found;
+// --- Profiler: the call-path tree --------------------------------------------
+
+Profiler::Profiler() { nodes_.emplace_back(); }
+
+PathId Profiler::intern_child(PathId parent, const char* name) {
+  PathNode& node = nodes_[parent];
+  for (const PathId child : node.children) {
+    // Content compare, never pointer compare: identically-named spans from
+    // different string literals (or dynamic buffers) must share a node.
+    if (nodes_[child].name == name) return child;
+  }
+  const PathId id = static_cast<PathId>(nodes_.size());
+  nodes_[parent].children.push_back(id);
+  PathNode fresh;
+  fresh.name = name;
+  fresh.parent = parent;
+  nodes_.push_back(std::move(fresh));
+  return id;
+}
+
+SpanCounters& Profiler::path_counters(const char* const* frames,
+                                      std::size_t depth) {
+  if (depth > kMaxPathDepth) depth = kMaxPathDepth;  // truncate deep stacks
+  flat_dirty_ = true;
+  ++charges_;
+  if (depth == last_depth_ &&
+      std::equal(frames, frames + depth, last_frames_.begin())) {
+    return nodes_[last_id_].counters;
+  }
+  PathId id = kRootPath;
+  for (std::size_t i = 0; i < depth; ++i) id = intern_child(id, frames[i]);
+  std::copy(frames, frames + depth, last_frames_.begin());
+  last_depth_ = depth;
+  last_id_ = id;
+  return nodes_[id].counters;
+}
+
+std::string Profiler::path_string(PathId id) const {
+  if (id == kRootPath) return kUnattributed;
+  std::vector<const std::string*> names;
+  for (PathId at = id; at != kRootPath; at = nodes_[at].parent) {
+    names.push_back(&nodes_[at].name);
+  }
+  std::string out;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (!out.empty()) out += ';';
+    out += **it;
+  }
+  return out;
+}
+
+const std::map<std::string, SpanCounters>& Profiler::buckets() const {
+  if (flat_dirty_) {
+    flat_.clear();
+    for (PathId id = 0; id < nodes_.size(); ++id) {
+      const PathNode& node = nodes_[id];
+      const bool charged =
+          node.counters.cache_lookups != 0 || node.counters.created_nodes != 0;
+      bool any_calls = charged;
+      for (const SpanCounters::PerOp& per : node.counters.ops) {
+        any_calls = any_calls || per.calls != 0;
+      }
+      if (!any_calls) continue;  // structural-only nodes stay out of the view
+      const std::string& leaf = id == kRootPath ? kUnattributed : node.name;
+      flat_[leaf].accumulate(node.counters);
+    }
+    flat_dirty_ = false;
+  }
+  return flat_;
 }
 
 SpanCounters Profiler::totals() const {
   SpanCounters total;
-  for (const auto& [name, counters] : buckets_) total.accumulate(counters);
+  for (const PathNode& node : nodes_) total.accumulate(node.counters);
   return total;
 }
 
 void Profiler::clear() {
-  buckets_.clear();
-  last_name_ = nullptr;
-  last_bucket_ = nullptr;
+  nodes_.clear();
+  nodes_.emplace_back();
+  charges_ = 0;
+  last_depth_ = kMaxPathDepth + 1;
+  last_id_ = kRootPath;
+  flat_.clear();
+  flat_dirty_ = true;
 }
 
 void Profiler::merge(const Profiler& other) {
-  for (const auto& [name, counters] : other.buckets_) {
-    buckets_[name].accumulate(counters);
+  if (other.charges_ == 0 && other.nodes_.size() == 1) return;
+  // Parents always precede their children (ids are creation-ordered), so a
+  // single forward walk can map every foreign id onto this tree.
+  std::vector<PathId> map(other.nodes_.size(), kRootPath);
+  for (PathId id = 1; id < other.nodes_.size(); ++id) {
+    const PathNode& node = other.nodes_[id];
+    map[id] = intern_child(map[node.parent], node.name.c_str());
   }
-  // The cached pointer may be stale after the map rehash; drop it.
-  last_name_ = nullptr;
-  last_bucket_ = nullptr;
+  for (PathId id = 0; id < other.nodes_.size(); ++id) {
+    nodes_[map[id]].counters.accumulate(other.nodes_[id].counters);
+  }
+  charges_ += other.charges_;
+  // The cached fast path may point at a rehashed tree; drop it.
+  last_depth_ = kMaxPathDepth + 1;
+  flat_dirty_ = true;
 }
 
 void ScopedOp::charge(double seconds) {
   const ManagerStats after = mgr_->stats();
-  SpanCounters& bucket =
-      prof_->bucket(support::trace::current_span_name());
+  const char* frames[kMaxPathDepth];
+  const std::size_t depth =
+      support::trace::current_span_path(frames, kMaxPathDepth);
+  SpanCounters& bucket = prof_->path_counters(frames, depth);
   SpanCounters::PerOp& per = bucket.ops[static_cast<unsigned>(op_)];
   per.calls += 1;
   per.steps += after.cache_lookups - before_.cache_lookups;
@@ -186,6 +267,58 @@ void record_metrics(const Profiler& prof, const std::string& prefix) {
     registry.set_gauge(base + "reorder_seconds",
                        c.op(OpClass::kReorder).seconds);
   }
+}
+
+// --- Flamegraph export -------------------------------------------------------
+
+std::optional<FlameWeight> parse_flame_weight(std::string_view name) noexcept {
+  if (name == "steps") return FlameWeight::kSteps;
+  if (name == "seconds") return FlameWeight::kSeconds;
+  if (name == "nodes") return FlameWeight::kNodes;
+  return std::nullopt;
+}
+
+std::uint64_t flame_weight_of(const SpanCounters& counters,
+                              FlameWeight weight) noexcept {
+  switch (weight) {
+    case FlameWeight::kSteps:
+      return counters.work_steps();
+    case FlameWeight::kSeconds:
+      // Integer microseconds: the collapsed format carries integral
+      // weights, and sub-microsecond self times are noise anyway.
+      return static_cast<std::uint64_t>(
+          std::llround(counters.total_seconds() * 1e6));
+    case FlameWeight::kNodes:
+      return counters.created_nodes;
+  }
+  return 0;
+}
+
+void write_collapsed(const Profiler& prof, std::ostream& out,
+                     FlameWeight weight) {
+  std::vector<std::string> lines;
+  const auto& nodes = prof.path_nodes();
+  for (PathId id = 0; id < nodes.size(); ++id) {
+    const std::uint64_t w = flame_weight_of(nodes[id].counters, weight);
+    if (w == 0) continue;  // zero self weight adds nothing to any view
+    lines.push_back(prof.path_string(id) + " " + std::to_string(w));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+std::string to_collapsed(const Profiler& prof, FlameWeight weight) {
+  std::ostringstream os;
+  write_collapsed(prof, os, weight);
+  return os.str();
+}
+
+bool write_collapsed_file(const Profiler& prof, const std::string& path,
+                          FlameWeight weight) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_collapsed(prof, out, weight);
+  return static_cast<bool>(out);
 }
 
 }  // namespace lr::bdd::profile

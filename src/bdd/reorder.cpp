@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -76,12 +77,17 @@ std::size_t Manager::reorder_sifting(int max_passes) {
   profile::ScopedOp profiled(*this, profile::OpClass::kReorder);
   LR_TRACE_SPAN_NAMED(span, "bdd.sift");
   ++stats_.reorder_runs;
+  const auto sift_start = std::chrono::steady_clock::now();
   const std::size_t live_before = live_nodes();
   const bool gc_was_enabled = gc_enabled_;
   gc_enabled_ = false;  // GC timing is managed explicitly below
-  collect_garbage();
+  collect_garbage_impl(GcTrigger::kReorder);
+
+  ReorderRecord record;
+  record.live_before = live_before;
 
   for (int pass = 0; pass < max_passes; ++pass) {
+    ++record.passes;
     const std::size_t pass_start = live_nodes();
     // Sift variables in decreasing order of their node population — the
     // biggest offenders first (Rudell's heuristic).
@@ -99,7 +105,8 @@ std::size_t Manager::reorder_sifting(int max_passes) {
     for (const VarIndex v : order) {
       // Sweep the garbage from the previous journey so node counts are
       // honest for this one.
-      collect_garbage();
+      collect_garbage_impl(GcTrigger::kReorder);
+      const std::size_t journey_start = live_nodes();
       const std::uint32_t start_pos = level_of_var_[v];
       const std::uint32_t bottom = num_vars_ - 1;
       std::size_t best_size = live_nodes();
@@ -131,14 +138,28 @@ std::size_t Manager::reorder_sifting(int max_passes) {
       for (std::uint32_t l = level_of_var_[v]; l < best_pos; ++l) {
         swap_adjacent_levels(l);
       }
+
+      SiftMove move;
+      move.var = v;
+      move.start_level = start_pos;
+      move.end_level = level_of_var_[v];
+      move.node_delta = static_cast<std::ptrdiff_t>(best_size) -
+                        static_cast<std::ptrdiff_t>(journey_start);
+      record.moves.push_back(move);
     }
 
-    collect_garbage();
+    collect_garbage_impl(GcTrigger::kReorder);
     if (live_nodes() * 50 > pass_start * 49) break;  // < 2% gain: stop
   }
 
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
   gc_enabled_ = gc_was_enabled;
+  record.live_after = live_nodes();
+  record.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sift_start)
+          .count();
+  reorder_log_.push_back(std::move(record));
   if (support::trace::enabled()) {
     span.attr("live_before", static_cast<std::uint64_t>(live_before));
     span.attr("live_after", static_cast<std::uint64_t>(live_nodes()));

@@ -108,6 +108,13 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       ++shrink_rounds;
       support::trace::counter("bdd.live_nodes",
                               static_cast<double>(mgr.live_nodes()));
+      support::trace::counter("bdd.unique_load", mgr.unique_load());
+      support::trace::counter(
+          "bdd.cache_hit_rate",
+          mgr.stats().cache_lookups == 0
+              ? 0.0
+              : static_cast<double>(mgr.stats().cache_hits) /
+                    static_cast<double>(mgr.stats().cache_lookups));
       if (heartbeat.due()) {
         heartbeat.emit("round " + std::to_string(stats.addmasking_rounds) +
                        ", live nodes " + std::to_string(mgr.live_nodes()));
@@ -200,6 +207,13 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       }
       support::trace::counter("bdd.live_nodes",
                               static_cast<double>(mgr.live_nodes()));
+      support::trace::counter("bdd.unique_load", mgr.unique_load());
+      support::trace::counter(
+          "bdd.cache_hit_rate",
+          mgr.stats().cache_lookups == 0
+              ? 0.0
+              : static_cast<double>(mgr.stats().cache_hits) /
+                    static_cast<double>(mgr.stats().cache_lookups));
       if (heartbeat.due()) {
         heartbeat.emit("layer " + std::to_string(stats.recovery_layers) +
                        ", live nodes " + std::to_string(mgr.live_nodes()));

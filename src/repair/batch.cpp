@@ -335,6 +335,8 @@ BatchReport run_batch(const std::vector<BatchTask>& tasks,
       m.set_gauge(prefix + "." + item.name + ".resumed",
                   item.skipped ? 1.0 : 0.0);
       if (!item.build_ok || item.skipped) continue;
+      m.max_gauge(prefix + "." + item.name + ".peak_nodes",
+                  static_cast<double>(item.stats.bdd.peak_nodes));
       record_run_metrics(item.stats);
       record_run_metrics(item.stats,
                          prefix + "." + item.name + "." + item.algorithm);

@@ -38,8 +38,20 @@ const std::vector<support::FlagSpec>& repair_cli_flag_specs() {
       {"export", "OUT.lr", "write the synthesized model"},
       {"no-verify", "", "skip the independent verifier"},
       {"stats", "",
-       "print engine statistics (incl. BDD manager) and the\n"
-       "per-span BDD attribution table"},
+       "print engine statistics (incl. BDD manager), the\n"
+       "per-span BDD attribution table, the BDD memory report\n"
+       "(per-level node histogram, table/cache occupancy) and\n"
+       "the GC / reorder introspection sections"},
+      {"sift", "",
+       "run one sifting reorder pass before the repair\n"
+       "(exercises the --stats reorder section)"},
+      {"flamegraph", "FILE",
+       "write the BDD call-path profile in collapsed-stack\n"
+       "format (speedscope / inferno compatible); single-model\n"
+       "mode only"},
+      {"flamegraph-weight", "W",
+       "collapsed-stack line weight: steps (default,\n"
+       "deterministic work steps), seconds or nodes"},
       {"progress", "SECS",
        "heartbeat lines on stderr every SECS seconds\n"
        "(default 10; LR_PROGRESS env var also works)"},

@@ -36,7 +36,7 @@ void eliminate_livelocks(prog::DistributedProgram& program,
   // from the previous fixpoint — pruning only shrinks the deltas, so each
   // pass's greatest fixpoint is contained in the previous pass's and the
   // descent may start there instead of from `outside`.
-  const bool sharded = space.intra_jobs() > 1;
+  const bool sharded = space.intra_active();
   bdd::Bdd warm_seed = outside;
   for (std::size_t pass = 0; pass < 2 * deltas.size() + 2; ++pass) {
     throw_if_cancelled(options.cancel);
@@ -206,28 +206,30 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     // dead set in one round replaces the paper's one-layer-per-iteration
     // peeling; branch transitions from alive states into the dead region
     // are banned too, which is exactly the paper's Line 11.
-    // The monolithic union is only needed off the partitioned path; build
+    // The monolithic union is only needed for the failsafe branch; build
     // it before the span opens so its work lands in step2, exactly where
     // the sequential profile has always charged it.
-    const bool partitioned_nu = space.intra_jobs() > 1 &&
-                                options.level != ToleranceLevel::kFailsafe;
+    const bool failsafe = options.level == ToleranceLevel::kFailsafe;
     bdd::Bdd realized = space.bdd_false();
-    if (!partitioned_nu) {
+    if (failsafe) {
       realized = step1.delta & identity;
       for (const bdd::Bdd& dj : deltas) realized |= dj;
     }
     LR_TRACE_SPAN_NAMED(dl_span, "lazy_repair.deadlock_check");
     bdd::Bdd deadlocks;
-    if (options.level == ToleranceLevel::kFailsafe) {
+    if (failsafe) {
       // Failsafe: only the invariant owes progress; stopping after a fault
       // is allowed. A state of S' whose actions were all dropped (and that
       // was not already a legitimate terminal) must still be banned.
       const bdd::Bdd enabled =
           space.manager().exists(realized, space.cube(sym::Version::kNext));
       deadlocks = step1.invariant.minus(enabled);
-    } else if (partitioned_nu) {
-      // Partitioned νZ: {δ' ∩ id} ∪ {δ_j} as disjuncts, same fixpoint as
-      // the monolithic union below, per-step products stay small.
+    } else {
+      // Partitioned νZ: {δ' ∩ id} ∪ {δ_j} as disjuncts — the same fixpoint
+      // as a νZ over the monolithic union, with per-step products that stay
+      // small. Used in sequential runs too (has_successor_in reduces the
+      // partitions in order when intra is off), so the call-path profile is
+      // byte-identical with and without --par-intra.
       std::vector<bdd::Bdd> realized_parts{step1.delta & identity};
       realized_parts.insert(realized_parts.end(), deltas.begin(),
                             deltas.end());
@@ -235,14 +237,6 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
       while (true) {
         const bdd::Bdd shrunk = space.has_successor_in(
             std::span<const bdd::Bdd>(realized_parts), alive);
-        if (shrunk == alive) break;
-        alive = shrunk;
-      }
-      deadlocks = realized_span.minus(alive);
-    } else {
-      bdd::Bdd alive = realized_span;
-      while (true) {
-        const bdd::Bdd shrunk = space.has_successor_in(realized, alive);
         if (shrunk == alive) break;
         alive = shrunk;
       }

@@ -87,7 +87,7 @@ std::vector<bdd::Bdd> realize_parallel(
     const bdd::Bdd w_tol = engine.import(w, tolerance_id);
     const bdd::Bdd w_valid_pair = engine.import(w, valid_pair_id);
     const bdd::Bdd all_bits = worker.cube_cur & worker.cube_next;
-    for (std::size_t j = w; j < n; j += engine.jobs()) {
+    for (std::size_t j = w; j < n; j += engine.contexts()) {
       ProcessOutcome& out = outcomes[j];
       const bdd::Bdd w_same = engine.import(w, inputs[j].same_unreadable);
       const bdd::Bdd w_ucube = engine.import(w, inputs[j].unreadable_cube);
@@ -163,7 +163,7 @@ std::vector<bdd::Bdd> realize_parallel(
   std::vector<bdd::Bdd> result;
   result.reserve(n);
   for (std::size_t j = 0; j < n; ++j) {
-    const std::size_t w = j % engine.jobs();
+    const std::size_t w = j % engine.contexts();
     ProcessOutcome& out = outcomes[j];
     stats.group_iterations += out.iterations;
     stats.expand_successes += out.expand_successes;

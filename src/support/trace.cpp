@@ -97,6 +97,13 @@ const char* current_span_name() noexcept {
   return t_open.empty() ? nullptr : t_open.back().name;
 }
 
+std::size_t current_span_path(const char** out, std::size_t max) noexcept {
+  const std::size_t depth = t_open.size();
+  const std::size_t copied = depth < max ? depth : max;
+  for (std::size_t i = 0; i < copied; ++i) out[i] = t_open[i].name;
+  return depth;
+}
+
 void counter(const char* name, double value) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(g_mutex);

@@ -3,8 +3,8 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
-#include <optional>
 #include <utility>
+#include <vector>
 
 #include "bdd/profile.hpp"
 #include "support/trace.hpp"
@@ -34,18 +34,19 @@ IntraEngine::IntraEngine(bdd::Manager& main, std::size_t jobs,
                          std::vector<bdd::VarIndex> next_bits,
                          std::vector<bdd::VarIndex> swap_perm)
     : main_(main),
+      jobs_(jobs),
       pool_(jobs),
       cur_bits_(std::move(cur_bits)),
       next_bits_(std::move(next_bits)),
       swap_perm_(std::move(swap_perm)) {
-  assert(jobs >= 2 && "IntraEngine: use the sequential path for jobs <= 1");
+  assert(jobs >= 1 && "IntraEngine: at least one pool thread");
   const std::uint32_t nvars = main_.var_count();
   order_snapshot_.resize(nvars);
   for (std::uint32_t level = 0; level < nvars; ++level) {
     order_snapshot_[level] = main_.var_at_level(level);
   }
-  workers_.reserve(jobs);
-  for (std::size_t w = 0; w < jobs; ++w) {
+  workers_.reserve(kContexts);
+  for (std::size_t w = 0; w < kContexts; ++w) {
     auto worker = std::make_unique<Worker>(worker_manager_options());
     for (std::uint32_t v = 0; v < nvars; ++v) worker->mgr.new_var();
     align_worker(*worker);
@@ -119,16 +120,22 @@ bdd::NodeId IntraEngine::pin(const bdd::Bdd& f) {
 
 void IntraEngine::run(const std::function<void(std::size_t, Worker&)>& fn) {
   sync_order();
-  // Workers charge their BDD work to the span that dispatched them, so the
-  // attribution table reads the same as in a sequential run. Span names
-  // are string literals — safe to hand across threads.
-  const char* parent = support::trace::current_span_name();
+  // Workers charge their BDD work to the *full* span path that dispatched
+  // them, so the profiler's call-path tree reads the same as in a
+  // sequential run. Span names are string literals — safe to hand across
+  // threads.
+  const char* frames[bdd::profile::kMaxPathDepth];
+  std::size_t depth = support::trace::current_span_path(
+      frames, bdd::profile::kMaxPathDepth);
+  if (depth > bdd::profile::kMaxPathDepth) {
+    depth = bdd::profile::kMaxPathDepth;
+  }
+  const std::vector<const char*> parent_path(frames, frames + depth);
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     Worker* worker = workers_[w].get();
-    pool_.submit([fn, w, worker, parent] {
+    pool_.submit([fn, w, worker, &parent_path] {
       try {
-        std::optional<support::trace::Span> span;
-        if (parent != nullptr) span.emplace(parent);
+        support::trace::SpanPathScope path(parent_path);
         fn(w, *worker);
       } catch (...) {
         worker->error = std::current_exception();
@@ -174,11 +181,11 @@ bdd::Bdd IntraEngine::image(std::span<const bdd::Bdd> pieces,
   piece_ids.reserve(pieces.size());
   for (const bdd::Bdd& piece : pieces) piece_ids.push_back(pin(piece));
   const bdd::NodeId from_id = pin(from);
-  std::vector<bdd::Bdd> partials(jobs());
+  std::vector<bdd::Bdd> partials(contexts());
   run([&](std::size_t w, Worker& worker) {
     const bdd::Bdd operand = import(w, from_id);
     bdd::Bdd acc = worker.mgr.bdd_false();
-    for (std::size_t i = w; i < piece_ids.size(); i += jobs()) {
+    for (std::size_t i = w; i < piece_ids.size(); i += contexts()) {
       const bdd::Bdd piece = import(w, piece_ids[i]);
       acc |= worker.mgr.permute(
           worker.mgr.and_exists(piece, operand, worker.cube_cur),
@@ -206,11 +213,11 @@ bdd::Bdd IntraEngine::preimage(std::span<const bdd::Bdd> pieces,
   piece_ids.reserve(pieces.size());
   for (const bdd::Bdd& piece : pieces) piece_ids.push_back(pin(piece));
   const bdd::NodeId to_id = pin(to_primed);
-  std::vector<bdd::Bdd> partials(jobs());
+  std::vector<bdd::Bdd> partials(contexts());
   run([&](std::size_t w, Worker& worker) {
     const bdd::Bdd operand = import(w, to_id);
     bdd::Bdd acc = worker.mgr.bdd_false();
-    for (std::size_t i = w; i < piece_ids.size(); i += jobs()) {
+    for (std::size_t i = w; i < piece_ids.size(); i += contexts()) {
       const bdd::Bdd piece = import(w, piece_ids[i]);
       acc |= worker.mgr.and_exists(piece, operand, worker.cube_next);
     }

@@ -60,9 +60,19 @@ class IntraEngine {
     std::exception_ptr error;
   };
 
-  /// `jobs` >= 2 worker managers are created mirroring `main`'s variable
-  /// order; `cur_bits`/`next_bits` are the state-copy bit lists and
-  /// `swap_perm` the prime/unprime permutation vector of the owning Space.
+  /// Number of worker contexts (private managers). Fixed — NOT the thread
+  /// count — so the work-to-context assignment, each context's op
+  /// sequence, and therefore every profiler counter are identical no
+  /// matter how many threads execute the contexts. That invariance is what
+  /// makes a profiled run's flamegraph byte-identical across --par-intra
+  /// values (and against a profiled sequential run, which drives the same
+  /// engine with a one-thread pool).
+  static constexpr std::size_t kContexts = 8;
+
+  /// kContexts worker managers are created mirroring `main`'s variable
+  /// order and executed by a pool of `jobs` >= 1 threads;
+  /// `cur_bits`/`next_bits` are the state-copy bit lists and `swap_perm`
+  /// the prime/unprime permutation vector of the owning Space.
   IntraEngine(bdd::Manager& main, std::size_t jobs,
               std::vector<bdd::VarIndex> cur_bits,
               std::vector<bdd::VarIndex> next_bits,
@@ -73,7 +83,14 @@ class IntraEngine {
   IntraEngine(const IntraEngine&) = delete;
   IntraEngine& operator=(const IntraEngine&) = delete;
 
-  [[nodiscard]] std::size_t jobs() const noexcept { return workers_.size(); }
+  /// Worker contexts (== kContexts). Work is strided over contexts, so
+  /// shard loops use this, never jobs().
+  [[nodiscard]] std::size_t contexts() const noexcept {
+    return workers_.size();
+  }
+
+  /// Pool threads executing the contexts.
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
 
   /// Main thread only: keeps `f` (and thus every node reachable from it)
   /// alive and id-stable so workers may import it. Pins accumulate across
@@ -126,6 +143,7 @@ class IntraEngine {
   void drop_pins();
 
   bdd::Manager& main_;
+  std::size_t jobs_;
   std::vector<std::unique_ptr<Worker>> workers_;
   support::ThreadPool pool_;
   std::vector<bdd::VarIndex> cur_bits_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "bdd/profile.hpp"
 #include "bdd/witness.hpp"
 #include "support/trace.hpp"
 #include "symbolic/intra.hpp"
@@ -232,7 +233,7 @@ bdd::Bdd Space::image(const bdd::Bdd& rel, const bdd::Bdd& from) {
     // Copy the cached pieces: the engine may trim its caches on a later
     // call, and local handles keep the split alive regardless.
     const std::vector<bdd::Bdd> pieces =
-        intra_->split_relation(rel, 2 * intra_->jobs());
+        intra_->split_relation(rel, 2 * intra_->contexts());
     if (pieces.size() > 1) return intra_->image(pieces, from);
   }
   return unprime(mgr_.and_exists(rel, from, cube_cur_));
@@ -242,7 +243,7 @@ bdd::Bdd Space::preimage(const bdd::Bdd& rel, const bdd::Bdd& to) {
   freeze();
   if (intra_ != nullptr) {
     const std::vector<bdd::Bdd> pieces =
-        intra_->split_relation(rel, 2 * intra_->jobs());
+        intra_->split_relation(rel, 2 * intra_->contexts());
     if (pieces.size() > 1) return intra_->preimage(pieces, prime(to));
   }
   return mgr_.and_exists(rel, prime(to), cube_next_);
@@ -349,10 +350,15 @@ bdd::Bdd Space::has_successor_in_local(const bdd::Bdd& rel,
 
 void Space::enable_intra(std::size_t jobs) {
   freeze();
-  if (jobs <= 1) {
+  // Profiled runs drive the engine even single-threaded: the engine's
+  // work-to-context assignment is thread-count invariant, so a profiled
+  // sequential run charges exactly the counters a --par-intra run does and
+  // their flamegraphs compare byte-for-byte.
+  if (jobs <= 1 && !bdd::profile::enabled()) {
     intra_.reset();
     return;
   }
+  if (jobs < 1) jobs = 1;
   if (intra_ != nullptr && intra_->jobs() == jobs) return;
   intra_ = std::make_unique<IntraEngine>(mgr_, jobs, cur_bit_list_,
                                          next_bit_list_, swap_perm_vec_);

@@ -188,10 +188,25 @@ class Space {
   /// symbolic/intra.hpp). Freezes the space. Results are bit-identical to
   /// the sequential path in either mode; only wall-clock and memory
   /// behavior change. Idempotent per jobs value.
+  ///
+  /// Exception: while profiling is on (bdd::profile::enabled()), jobs <= 1
+  /// still engages the engine with a one-thread pool. The engine's
+  /// work-to-context assignment is invariant in the thread count, so a
+  /// profiled sequential run and a profiled --par-intra run charge
+  /// identical counters and export byte-identical flamegraphs.
   void enable_intra(std::size_t jobs);
 
-  /// Worker count of the sharded path (1 = sequential).
+  /// Pool thread count of the sharded path (1 = sequential execution —
+  /// though the engine may still be active under profiling, see
+  /// enable_intra). Algorithm selection must use intra_active() instead.
   [[nodiscard]] std::size_t intra_jobs() const noexcept;
+
+  /// True when the sharding engine is active, whatever its thread count.
+  /// The branch condition for sharded-vs-monolithic plans: both profiled
+  /// modes agree on it, keeping their op sequences identical.
+  [[nodiscard]] bool intra_active() const noexcept {
+    return intra_ != nullptr;
+  }
 
   /// The sharding engine, or nullptr when sequential. The repair layer
   /// uses it directly for parallel per-process group enumeration.

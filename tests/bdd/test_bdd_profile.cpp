@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <sstream>
@@ -275,6 +277,200 @@ TEST_F(BddProfileTest, NestedSpansConserveShardedTotals) {
     (void)counters;
   }
   EXPECT_EQ(mirrored, b.op(OpClass::kQuantify).calls);
+}
+
+// --- Call-path tree ----------------------------------------------------------
+
+TEST_F(BddProfileTest, NestedSpansFormDistinctPathsThatRollUpByLeaf) {
+  ProfilingOn guard;
+  const Bdd a = mgr_.bdd_var(vars_[0]);
+  const Bdd b = mgr_.bdd_var(vars_[1]);
+  const Bdd c = mgr_.bdd_var(vars_[2]);
+  {
+    LR_TRACE_SPAN("profile_test.outer");
+    {
+      LR_TRACE_SPAN("profile_test.leaf");
+      (void)(a & b);  // path outer;leaf
+    }
+  }
+  {
+    LR_TRACE_SPAN("profile_test.other");
+    {
+      LR_TRACE_SPAN("profile_test.leaf");
+      (void)(a | c);  // path other;leaf — same leaf, different path
+    }
+  }
+
+  const profile::Profiler& prof = mgr_.profiler();
+  // Tree: root + outer + other + two distinct "leaf" children.
+  ASSERT_EQ(prof.path_nodes().size(), 5u);
+  std::vector<std::string> paths;
+  for (profile::PathId id = 1; id < prof.path_nodes().size(); ++id) {
+    paths.push_back(prof.path_string(id));
+  }
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      "profile_test.outer;profile_test.leaf"),
+            paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      "profile_test.other;profile_test.leaf"),
+            paths.end());
+
+  // Flat view: both paths roll up into one "profile_test.leaf" bucket.
+  ASSERT_EQ(prof.buckets().size(), 1u);
+  EXPECT_EQ(prof.buckets().at("profile_test.leaf").op(OpClass::kApply).calls,
+            2u);
+}
+
+TEST_F(BddProfileTest, FlatViewIsExactTreeRollup) {
+  ProfilingOn guard;
+  Bdd f = mgr_.bdd_true();
+  {
+    LR_TRACE_SPAN("profile_test.phase1");
+    for (std::size_t v = 0; v + 1 < vars_.size(); ++v) {
+      LR_TRACE_SPAN("profile_test.step");
+      f = f & (mgr_.bdd_var(vars_[v]) ^ mgr_.bdd_var(vars_[v + 1]));
+    }
+  }
+  {
+    LR_TRACE_SPAN("profile_test.phase2");
+    (void)mgr_.exists(f, mgr_.bdd_var(vars_[0]));
+  }
+  (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));  // root charge
+
+  const profile::Profiler& prof = mgr_.profiler();
+  profile::SpanCounters from_tree;
+  for (const profile::Profiler::PathNode& node : prof.path_nodes()) {
+    from_tree.accumulate(node.counters);
+  }
+  profile::SpanCounters from_flat;
+  for (const auto& [name, counters] : prof.buckets()) {
+    from_flat.accumulate(counters);
+  }
+  const profile::SpanCounters totals = prof.totals();
+  for (unsigned c = 0; c < profile::kOpClassCount; ++c) {
+    const auto op = static_cast<OpClass>(c);
+    EXPECT_EQ(from_tree.op(op).calls, totals.op(op).calls);
+    EXPECT_EQ(from_flat.op(op).calls, totals.op(op).calls);
+    EXPECT_EQ(from_flat.op(op).steps, totals.op(op).steps);
+  }
+  EXPECT_EQ(from_flat.cache_lookups, totals.cache_lookups);
+  EXPECT_EQ(from_flat.created_nodes, totals.created_nodes);
+  EXPECT_EQ(from_flat.work_steps(), totals.work_steps());
+}
+
+// Regression (span-name cache): the profiler's one-entry fast path
+// compares frame pointers, but the fallback must match by string
+// *content*, so identically-named spans from different storage (two heap
+// buffers here — the hostile case for literal pooling) share one path
+// node and one flat bucket.
+TEST_F(BddProfileTest, IdenticallyNamedSpansFromDifferentStorageShareBucket) {
+  ProfilingOn guard;
+  const std::string name_a = "profile_test.dynamic";
+  const std::string name_b = std::string("profile_test.") + "dynamic";
+  ASSERT_NE(name_a.c_str(), name_b.c_str()) << "distinct storage required";
+  {
+    support::trace::Span span(name_a.c_str());
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+  }
+  {
+    support::trace::Span span(name_b.c_str());
+    (void)(mgr_.bdd_var(vars_[1]) & mgr_.bdd_var(vars_[2]));
+  }
+  const profile::Profiler& prof = mgr_.profiler();
+  ASSERT_EQ(prof.path_nodes().size(), 2u) << "root + one shared span node";
+  ASSERT_EQ(prof.buckets().size(), 1u);
+  EXPECT_EQ(
+      prof.buckets().at("profile_test.dynamic").op(OpClass::kApply).calls,
+      2u);
+}
+
+// --- Flamegraph export -------------------------------------------------------
+
+TEST_F(BddProfileTest, CollapsedWeightsSumToTotalWorkSteps) {
+  ProfilingOn guard;
+  Bdd f = mgr_.bdd_true();
+  {
+    LR_TRACE_SPAN("profile_test.flame_outer");
+    for (std::size_t v = 0; v + 1 < vars_.size(); ++v) {
+      LR_TRACE_SPAN("profile_test.flame_inner");
+      f = f & (mgr_.bdd_var(vars_[v]) ^ mgr_.bdd_var(vars_[v + 1]));
+    }
+    (void)mgr_.exists(f, mgr_.bdd_var(vars_[0]));
+  }
+
+  const profile::Profiler& prof = mgr_.profiler();
+  const std::string collapsed = profile::to_collapsed(prof);
+  std::uint64_t sum = 0;
+  std::istringstream lines(collapsed);
+  std::string line;
+  std::string prev;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    const std::size_t split = line.rfind(' ');
+    ASSERT_NE(split, std::string::npos) << line;
+    sum += std::stoull(line.substr(split + 1));
+    EXPECT_LE(prev, line) << "lines must be sorted";
+    prev = line;
+  }
+  EXPECT_EQ(sum, prof.totals().work_steps());
+  EXPECT_NE(collapsed.find(
+                "profile_test.flame_outer;profile_test.flame_inner "),
+            std::string::npos)
+      << collapsed;
+}
+
+TEST_F(BddProfileTest, FlameWeightParsingAndAlternatives) {
+  EXPECT_EQ(profile::parse_flame_weight("steps"),
+            profile::FlameWeight::kSteps);
+  EXPECT_EQ(profile::parse_flame_weight("seconds"),
+            profile::FlameWeight::kSeconds);
+  EXPECT_EQ(profile::parse_flame_weight("nodes"),
+            profile::FlameWeight::kNodes);
+  EXPECT_FALSE(profile::parse_flame_weight("bogus").has_value());
+
+  ProfilingOn guard;
+  {
+    LR_TRACE_SPAN("profile_test.flame_nodes");
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+  }
+  const std::string by_nodes =
+      profile::to_collapsed(mgr_.profiler(), profile::FlameWeight::kNodes);
+  std::uint64_t sum = 0;
+  std::istringstream lines(by_nodes);
+  std::string line;
+  while (std::getline(lines, line)) {
+    sum += std::stoull(line.substr(line.rfind(' ') + 1));
+  }
+  EXPECT_EQ(sum, mgr_.profiler().totals().created_nodes);
+}
+
+TEST_F(BddProfileTest, MergePreservesFullPathsNotJustLeaves) {
+  ProfilingOn guard;
+  Manager other;
+  const VarIndex v0 = other.new_var();
+  const VarIndex v1 = other.new_var();
+  {
+    LR_TRACE_SPAN("profile_test.mergepath_outer");
+    LR_TRACE_SPAN("profile_test.mergepath_leaf");
+    (void)(mgr_.bdd_var(vars_[0]) & mgr_.bdd_var(vars_[1]));
+    (void)(other.bdd_var(v0) & other.bdd_var(v1));
+  }
+  profile::Profiler merged;
+  merged.merge(mgr_.profiler());
+  merged.merge(other.profiler());
+  // Same two-deep path in both sources: the merged tree has root + outer +
+  // leaf (coalesced), and the leaf self-counters aggregate.
+  ASSERT_EQ(merged.path_nodes().size(), 3u);
+  bool found = false;
+  for (profile::PathId id = 1; id < merged.path_nodes().size(); ++id) {
+    if (merged.path_string(id) ==
+        "profile_test.mergepath_outer;profile_test.mergepath_leaf") {
+      EXPECT_EQ(merged.path_nodes()[id].counters.op(OpClass::kApply).calls,
+                2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST_F(BddProfileTest, MergeAggregatesAcrossProfilers) {

@@ -1,0 +1,176 @@
+// Unit tests for the BDD memory & structure telemetry: the per-level
+// histogram must account for exactly the live internal nodes, occupancy
+// figures must stay within their bounds, eviction/GC/reorder logs must
+// record what actually happened, and the metrics mirror must carry it all.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/meminfo.hpp"
+#include "support/metrics.hpp"
+
+namespace lr::bdd {
+namespace {
+
+class BddMeminfoTest : public ::testing::Test {
+ protected:
+  BddMeminfoTest() {
+    for (int i = 0; i < 8; ++i) vars_.push_back(mgr_.new_var());
+  }
+
+  /// Builds a function with nodes on several levels and keeps it alive.
+  Bdd build_workload() {
+    Bdd f = mgr_.bdd_true();
+    for (std::size_t v = 0; v + 1 < vars_.size(); ++v) {
+      f = f & (mgr_.bdd_var(vars_[v]) ^ mgr_.bdd_var(vars_[v + 1]));
+    }
+    return f;
+  }
+
+  Manager mgr_;
+  std::vector<VarIndex> vars_;
+};
+
+TEST_F(BddMeminfoTest, LevelHistogramSumsToLiveInternalNodes) {
+  const Bdd f = build_workload();
+  mgr_.collect_garbage();  // drop intermediates: histogram == reachable
+  const std::vector<std::size_t> hist = mgr_.level_histogram();
+  ASSERT_EQ(hist.size(), vars_.size());
+  const std::size_t internal =
+      std::accumulate(hist.begin(), hist.end(), std::size_t{0});
+  // live_nodes() counts the two terminals; the histogram does not.
+  EXPECT_EQ(internal + 2, mgr_.live_nodes());
+  EXPECT_GT(internal, 0u);
+  (void)f;
+}
+
+TEST_F(BddMeminfoTest, CollectSnapshotsOccupancyWithinBounds) {
+  const Bdd f = build_workload();
+  const meminfo::MemInfo info = meminfo::collect(mgr_);
+  EXPECT_EQ(info.live_nodes, mgr_.live_nodes());
+  EXPECT_GE(info.peak_nodes, info.live_nodes);
+  EXPECT_GE(info.peak_bytes, info.pool_bytes);
+  EXPECT_GT(info.pool_bytes, 0u);
+  EXPECT_LE(info.unique_buckets_used, info.unique_buckets);
+  EXPECT_GE(info.unique_load, 0.0);
+  EXPECT_LE(info.cache_entries_used, info.cache_entries);
+  EXPECT_GE(info.cache_occupancy, 0.0);
+  EXPECT_LE(info.cache_occupancy, 1.0);
+  EXPECT_GE(info.cache_hit_rate, 0.0);
+  EXPECT_LE(info.cache_hit_rate, 1.0);
+  EXPECT_GT(info.cache_entries_used, 0u) << "workload must probe the cache";
+  ASSERT_EQ(info.level_histogram.size(), vars_.size());
+  ASSERT_EQ(info.var_at_level.size(), vars_.size());
+  (void)f;
+}
+
+TEST_F(BddMeminfoTest, TinyCacheCountsEvictions) {
+  Manager::Options options;
+  options.cache_log2 = 4;  // 16 entries: collisions guaranteed
+  Manager small(options);
+  std::vector<VarIndex> vars;
+  for (int i = 0; i < 10; ++i) vars.push_back(small.new_var());
+  Bdd f = small.bdd_true();
+  for (std::size_t v = 0; v + 1 < vars.size(); ++v) {
+    f = f & (small.bdd_var(vars[v]) ^ small.bdd_var(vars[v + 1]));
+  }
+  EXPECT_GT(small.stats().cache_evictions, 0u);
+}
+
+TEST_F(BddMeminfoTest, GcLogRecordsTriggerAndReclaim) {
+  {
+    const Bdd f = build_workload();
+    (void)f;
+  }  // everything dead now
+  ASSERT_TRUE(mgr_.gc_log().empty());
+  mgr_.collect_garbage();
+  ASSERT_EQ(mgr_.gc_log().size(), 1u);
+  const GcRecord& record = mgr_.gc_log().front();
+  EXPECT_EQ(record.trigger, GcTrigger::kExplicit);
+  EXPECT_GT(record.reclaimed, 0u);
+  EXPECT_EQ(record.live_before - record.live_after, record.reclaimed);
+  EXPECT_EQ(mgr_.gc_log_dropped(), 0u);
+  EXPECT_STREQ(gc_trigger_name(record.trigger), "explicit");
+}
+
+TEST_F(BddMeminfoTest, ReorderLogRecordsPerVariableJourneys) {
+  const Bdd f = build_workload();
+  ASSERT_TRUE(mgr_.reorder_log().empty());
+  mgr_.reorder_sifting(1);
+  ASSERT_EQ(mgr_.reorder_log().size(), 1u);
+  const ReorderRecord& record = mgr_.reorder_log().front();
+  EXPECT_EQ(record.passes, 1);
+  // One journey per variable per pass, each settling inside the order.
+  ASSERT_EQ(record.moves.size(), vars_.size());
+  for (const SiftMove& move : record.moves) {
+    EXPECT_LT(move.start_level, vars_.size());
+    EXPECT_LT(move.end_level, vars_.size());
+    EXPECT_LE(move.node_delta, 0) << "sifting never settles for worse";
+  }
+  // Sifting's internal GCs carry the reorder trigger.
+  bool saw_reorder_gc = false;
+  for (const GcRecord& gc : mgr_.gc_log()) {
+    saw_reorder_gc = saw_reorder_gc || gc.trigger == GcTrigger::kReorder;
+  }
+  EXPECT_TRUE(saw_reorder_gc);
+  (void)f;
+}
+
+TEST_F(BddMeminfoTest, WriteReportListsTopLevelsDeterministically) {
+  const Bdd f = build_workload();
+  mgr_.collect_garbage();
+  const meminfo::MemInfo info = meminfo::collect(mgr_);
+  std::ostringstream out;
+  meminfo::write_report(info, out, /*max_levels=*/3);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("bdd memory:"), std::string::npos) << text;
+  EXPECT_NE(text.find("unique table"), std::string::npos) << text;
+  EXPECT_NE(text.find("op cache"), std::string::npos) << text;
+  EXPECT_NE(text.find("top levels by live nodes"), std::string::npos) << text;
+  // Two identical snapshots render identically.
+  std::ostringstream again;
+  meminfo::write_report(meminfo::collect(mgr_), again, /*max_levels=*/3);
+  EXPECT_EQ(text, again.str());
+  (void)f;
+}
+
+TEST_F(BddMeminfoTest, MetricsMirrorCarriesMemAndReorderKeys) {
+  const Bdd f = build_workload();
+  mgr_.reorder_sifting(1);
+  const meminfo::MemInfo info = meminfo::collect(mgr_);
+  meminfo::record_metrics(info, "meminfotest.mem");
+  meminfo::record_reorder_metrics(mgr_, "meminfotest.reorder");
+  support::metrics::Registry& m = support::metrics::registry();
+  EXPECT_EQ(m.gauge("meminfotest.mem.live_nodes"),
+            static_cast<double>(info.live_nodes));
+  EXPECT_EQ(m.gauge("meminfotest.mem.peak_bytes"),
+            static_cast<double>(info.peak_bytes));
+  EXPECT_GT(m.gauge("meminfotest.mem.unique_buckets"), 0.0);
+  EXPECT_EQ(m.gauge("meminfotest.reorder.runs"), 1.0);
+  const SiftMove& first = mgr_.reorder_log().back().moves.front();
+  const std::string base =
+      "meminfotest.reorder.var." + std::to_string(first.var) + ".";
+  EXPECT_EQ(m.gauge(base + "start_level"),
+            static_cast<double>(first.start_level));
+  EXPECT_EQ(m.gauge(base + "end_level"),
+            static_cast<double>(first.end_level));
+  // Per-level histogram gauges exist for populated levels.
+  bool found_level = false;
+  for (std::size_t level = 0; level < info.level_histogram.size(); ++level) {
+    if (info.level_histogram[level] == 0) continue;
+    found_level = true;
+    EXPECT_EQ(m.gauge("meminfotest.mem.level." + std::to_string(level) +
+                      ".nodes"),
+              static_cast<double>(info.level_histogram[level]));
+  }
+  EXPECT_TRUE(found_level);
+  (void)f;
+}
+
+}  // namespace
+}  // namespace lr::bdd

@@ -345,6 +345,113 @@ TEST(CliGoldenTest_LrReport, RegressionBeyondMaxRatioFails) {
 }
 
 // ---------------------------------------------------------------------------
+// Flamegraph export (--flamegraph) and collapsed-profile diff (--flame)
+
+TEST(CliGoldenTest_Flame, CollapsedProfileMatchesGoldenAndIsParIntraInvariant) {
+  // The default weight (work_steps) is machine-independent, so the
+  // collapsed file is a byte-exact golden — and the profiled engine's
+  // thread-count invariance makes the --par-intra=4 run write the very
+  // same bytes.
+  const std::string seq_path =
+      ::testing::TempDir() + "cli_golden_tmr_seq.collapsed";
+  const std::string par_path =
+      ::testing::TempDir() + "cli_golden_tmr_par.collapsed";
+  const CliRun seq =
+      run_cli(models_dir() + "/tmr.lr --flamegraph=" + seq_path);
+  EXPECT_EQ(seq.exit_code, 0) << seq.output;
+  const CliRun par = run_cli(models_dir() +
+                             "/tmr.lr --par-intra=4 --flamegraph=" + par_path);
+  EXPECT_EQ(par.exit_code, 0) << par.output;
+  const std::string collapsed = read_file(seq_path);
+  ASSERT_FALSE(collapsed.empty()) << "no collapsed profile at " << seq_path;
+  expect_matches_golden(collapsed, "tmr.flame.golden");
+  EXPECT_EQ(collapsed, read_file(par_path))
+      << "--par-intra changed the collapsed profile";
+  std::remove(seq_path.c_str());
+  std::remove(par_path.c_str());
+}
+
+TEST(CliGoldenTest_Flame, BadWeightAndBatchModeAreRejected) {
+  const std::string path = ::testing::TempDir() + "cli_golden_rejected.collapsed";
+  const CliRun bad = run_cli(models_dir() + "/tmr.lr --flamegraph=" + path +
+                             " --flamegraph-weight=calories");
+  EXPECT_EQ(bad.exit_code, 2) << "unknown weight must be a usage error";
+  const CliRun batch =
+      run_cli("--batch " + models_dir() + " --flamegraph=" + path);
+  EXPECT_EQ(batch.exit_code, 2) << "--flamegraph needs a single model";
+}
+
+TEST(CliGoldenTest_LrReport, FlameDiffMatchesGoldenAndGates) {
+  const std::string baseline = ::testing::TempDir() + "flame_base.collapsed";
+  const std::string current = ::testing::TempDir() + "flame_cur.collapsed";
+  {
+    std::ofstream out(baseline);
+    out << "main;hot 100\nmain;cold 50\nmain;vanished 10\n";
+  }
+  {
+    std::ofstream out(current);
+    out << "main;hot 130\nmain;cold 45\nmain;appeared 5\n";
+  }
+  const CliRun run = run_command(lr_report_path() + " --flame " + baseline +
+                                 " " + current + " 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::string stable = run.output;
+  for (const std::string& path : {baseline, current}) {
+    const std::size_t at = stable.find(path);
+    ASSERT_NE(at, std::string::npos);
+    stable.replace(at, path.size(), "<collapsed>");
+  }
+  expect_matches_golden(stable, "lr_report_flame.golden");
+
+  // The same pair fails a tight total-weight gate; the diff tables are
+  // advisory, the gate decides the exit code.
+  const CliRun gated =
+      run_command(lr_report_path() + " --flame " + baseline + " " + current +
+                  " --max-ratio=1.05 2>/dev/null");
+  EXPECT_EQ(gated.exit_code, 1) << gated.output;
+  EXPECT_NE(gated.output.find("FAIL"), std::string::npos) << gated.output;
+  std::remove(baseline.c_str());
+  std::remove(current.c_str());
+}
+
+TEST(CliGoldenTest_LrReport, OneSidedKeysStayOutOfTheSummaryDenominator) {
+  // Regression cover: one-sided keys are listed with "n/a" but excluded
+  // from the "(N of M shared keys listed)" summary, whose counts compare
+  // shared keys only. Golden-pinned so the exclusion cannot silently
+  // regress.
+  const std::string baseline =
+      ::testing::TempDir() + "lr_report_onesided_base.json";
+  const std::string current =
+      ::testing::TempDir() + "lr_report_onesided_cur.json";
+  {
+    std::ofstream out(baseline);
+    out << "{\n  \"counters\": {\n    \"moved.metric\": 10,\n"
+        << "    \"only.base\": 5,\n    \"steady.one\": 7,\n"
+        << "    \"steady.two\": 9\n  },\n"
+        << "  \"gauges\": {\n    \"bench.wall_seconds\": 10\n  }\n}\n";
+  }
+  {
+    std::ofstream out(current);
+    out << "{\n  \"counters\": {\n    \"moved.metric\": 20,\n"
+        << "    \"only.cur\": 3,\n    \"steady.one\": 7,\n"
+        << "    \"steady.two\": 9\n  },\n"
+        << "  \"gauges\": {\n    \"bench.wall_seconds\": 10\n  }\n}\n";
+  }
+  const CliRun run = run_command(lr_report_path() + " " + baseline + " " +
+                                 current + " 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::string stable = run.output;
+  for (const std::string& path : {baseline, current}) {
+    const std::size_t at = stable.find(path);
+    ASSERT_NE(at, std::string::npos);
+    stable.replace(at, path.size(), "<report>");
+  }
+  expect_matches_golden(stable, "lr_report_onesided.golden");
+  std::remove(baseline.c_str());
+  std::remove(current.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Repair decision journal (--journal / --explain)
 
 TEST(CliGoldenTest_Journal, ExplainNarrativeMatchesGolden) {

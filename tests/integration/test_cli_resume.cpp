@@ -64,7 +64,10 @@ std::optional<double> gauge(const std::string& metrics_path,
 class CliResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "cli_resume_sweep";
+    // Unique per test: ctest -j runs each test as its own process of this
+    // binary, so a shared directory name races between concurrent tests.
+    dir_ = ::testing::TempDir() + std::string("cli_resume_sweep_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::error_code ec;
     std::filesystem::remove_all(dir_, ec);
     std::filesystem::create_directories(dir_);

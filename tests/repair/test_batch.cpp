@@ -228,7 +228,10 @@ TEST(BatchTest, ThrowingBuildIsRetriedButHonestResultIsNot) {
 class BatchResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "batch_resume_engine";
+    // Unique per test: ctest -j runs each test as its own process of this
+    // binary, so a shared directory name races between concurrent tests.
+    dir_ = ::testing::TempDir() + std::string("batch_resume_engine_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir_);
     model_path_ = dir_ + "/counter.lr";
     write_model("");

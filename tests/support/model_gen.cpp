@@ -21,6 +21,9 @@ Topology topology_from_env() {
   if (value != nullptr && std::strcmp(value, "tree") == 0) {
     return Topology::kTree;
   }
+  if (value != nullptr && std::strcmp(value, "star") == 0) {
+    return Topology::kStar;
+  }
   return Topology::kRandom;
 }
 
@@ -70,6 +73,12 @@ std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
       writes[j] = true;
       reads[j] = true;
       if (j > 0) reads[(j - 1) / 2] = true;
+    } else if (topology == Topology::kStar) {
+      // Process j owns v_j and watches the hub's v_0; the hub (j = 0)
+      // reads only its own variable.
+      writes[j] = true;
+      reads[j] = true;
+      reads[0] = true;
     } else {
       // Writes: one or two variables; reads: writes + random others.
       writes[rng.below(nvars)] = true;

@@ -23,11 +23,16 @@ enum class Topology {
             ///< parent(i) = (i-1)/2 — rooted-binary-tree models (the root
             ///< reads only its own variable), the hierarchy shape of
             ///< diffusing-computation case studies
+  kStar,    ///< process i owns v_i, reads {v_0, v_i} — hub-and-spoke
+            ///< models where every process watches the hub's variable
+            ///< (the hub p_0 reads only its own), the client/server shape
+            ///< of centralized-coordinator case studies
 };
 
 /// Topology selected by the LR_FUZZ_TOPOLOGY environment variable
-/// ("ring" -> kRing, "tree" -> kTree; unset or anything else -> kRandom).
-/// Read once per call so a harness can flip it between shards.
+/// ("ring" -> kRing, "tree" -> kTree, "star" -> kStar; unset or anything
+/// else -> kRandom). Read once per call so a harness can flip it between
+/// shards.
 [[nodiscard]] Topology topology_from_env();
 
 /// Builds a random program: 2-3 variables of domain 2-3, 1-3 processes
