@@ -5,11 +5,18 @@
 //
 // Usage:
 //   bench_batch_tables [--jobs=N] [--compare-jobs=M] [--par-intra=K]
+//                      [--order=MODE] [--table=1|2|3|all]
 //                      [--metrics-json=FILE] [--trace-out=FILE]
 //
 // --compare-jobs runs the sweep a second time at M jobs and reports the
 // wall-clock ratio (the batching speedup; meaningful only on multi-core
 // hardware — this is the number the ROADMAP's scaling trajectory tracks).
+//
+// --order applies a static variable-order heuristic
+// (auto|interleave|adjacency) to every task; --table restricts the sweep
+// to one paper table. CI sweeps --order=auto against the committed
+// BENCH_order.json baseline (auto, because forcing a single heuristic on
+// a hostile family blows up — EXPERIMENTS.md "Variable order").
 //
 // --par-intra shards image/preimage and group enumeration *inside* each
 // task across K workers (repair::Options::intra_jobs); jobs * K is clamped
@@ -21,6 +28,7 @@
 
 #include "repair/batch.hpp"
 #include "support/cli.hpp"
+#include "symbolic/order_heur.hpp"
 #include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -33,10 +41,34 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.get("trace-out", "");
   if (!trace_path.empty()) lr::support::trace::start();
 
+  const std::string which_table = cli.get("table", "all");
   std::vector<lr::repair::BatchTask> tasks;
-  for (auto& task : lr::bench::table1_tasks()) tasks.push_back(std::move(task));
-  for (auto& task : lr::bench::table2_tasks()) tasks.push_back(std::move(task));
-  for (auto& task : lr::bench::table3_tasks()) tasks.push_back(std::move(task));
+  if (which_table == "all" || which_table == "1") {
+    for (auto& t : lr::bench::table1_tasks()) tasks.push_back(std::move(t));
+  }
+  if (which_table == "all" || which_table == "2") {
+    for (auto& t : lr::bench::table2_tasks()) tasks.push_back(std::move(t));
+  }
+  if (which_table == "all" || which_table == "3") {
+    for (auto& t : lr::bench::table3_tasks()) tasks.push_back(std::move(t));
+  }
+  if (tasks.empty()) {
+    std::fprintf(stderr, "unknown table '%s' (1|2|3|all)\n",
+                 which_table.c_str());
+    return 2;
+  }
+
+  if (cli.has("order")) {
+    const std::string order_arg = cli.get("order", "");
+    const auto mode = lr::sym::order::parse_mode(order_arg);
+    if (!mode) {
+      std::fprintf(stderr,
+                   "unknown order mode '%s' (decl|auto|interleave|adjacency)\n",
+                   order_arg.c_str());
+      return 2;
+    }
+    for (lr::repair::BatchTask& task : tasks) task.options.order_mode = *mode;
+  }
 
   const auto jobs = static_cast<std::size_t>(cli.get_int(
       "jobs",

@@ -102,7 +102,21 @@ std::size_t Manager::reorder_sifting(int max_passes) {
       return population[a] > population[b];
     });
 
+    bool pass_moved = false;
     for (const VarIndex v : order) {
+      // A variable with no live nodes cannot change any level's size;
+      // skipping its journey avoids 2*num_vars_ pointless swaps (each of
+      // which scans the whole pool) and keeps it where it is instead of
+      // letting the upward tie-preference bubble it to the top.
+      if (population[v] == 0) {
+        SiftMove move;
+        move.var = v;
+        move.start_level = level_of_var_[v];
+        move.end_level = level_of_var_[v];
+        move.node_delta = 0;
+        record.moves.push_back(move);
+        continue;
+      }
       // Sweep the garbage from the previous journey so node counts are
       // honest for this one.
       collect_garbage_impl(GcTrigger::kReorder);
@@ -146,9 +160,18 @@ std::size_t Manager::reorder_sifting(int max_passes) {
       move.node_delta = static_cast<std::ptrdiff_t>(best_size) -
                         static_cast<std::ptrdiff_t>(journey_start);
       record.moves.push_back(move);
+      if (move.end_level != move.start_level || move.node_delta < 0) {
+        pass_moved = true;
+      }
     }
 
     collect_garbage_impl(GcTrigger::kReorder);
+    // A pass that relocated nothing and shrank nothing left the order (and
+    // therefore every journey's outcome) exactly as it found it: another
+    // pass would redo the same swaps for the same answer. Stop before the
+    // percentage check — that one compares against pass_start and would
+    // happily re-sift forever at 0% gain.
+    if (!pass_moved) break;
     if (live_nodes() * 50 > pass_start * 49) break;  // < 2% gain: stop
   }
 

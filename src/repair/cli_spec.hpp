@@ -17,4 +17,9 @@ namespace lr::repair {
 /// The complete usage/--help text for repair_cli (`program` is argv[0]).
 [[nodiscard]] std::string repair_cli_usage(const std::string& program);
 
+/// The Markdown flag reference (docs/flags.md) generated from the same
+/// FlagSpec table. `repair_cli --help-markdown` prints exactly this; the
+/// docs test compares the committed file against it byte-for-byte.
+[[nodiscard]] std::string repair_cli_flags_markdown();
+
 }  // namespace lr::repair

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bdd/order.hpp"
+#include "program/distributed_program.hpp"
+#include "repair/types.hpp"
+
+namespace lr::repair {
+
+/// Applies Options::order_mode to the program's space. Called by
+/// lazy_repair/cautious_repair before anything compiles (and before
+/// enable_intra mirrors the main order into the workers), so the chosen
+/// order really is the *initial* order every BDD is built under.
+/// Idempotent — the CLI may have applied the same plan already for its
+/// report. A no-op for kDecl, which keeps default runs byte-identical to
+/// the pre-order engine. Records `bdd.order.*` metrics for non-default
+/// modes. Throws std::runtime_error when order_mode == kFile and the
+/// profile is unreadable or does not match the model.
+void apply_order_options(prog::DistributedProgram& program,
+                         const Options& options);
+
+/// The plan apply_order_options would apply (kFile loads and validates the
+/// profile; same exceptions).
+[[nodiscard]] sym::order::Plan order_plan(prog::DistributedProgram& program,
+                                          const Options& options);
+
+/// Snapshots the end-of-run order with the meminfo level histogram as
+/// quality evidence (`--order-out`). Must run *before* the .lr exporter,
+/// which restores the creation order to keep exports canonical. The
+/// profile's `source` field records only the mode name, never a path, so
+/// warm-started runs reach a byte-stable fixpoint.
+[[nodiscard]] bdd::order::OrderProfile capture_order_profile(
+    prog::DistributedProgram& program, const Options& options);
+
+/// Renders the --stats "bdd order" section: the chosen mode, its span-cost
+/// proxy vs declaration order, and the predicted-pressure vs actual
+/// live-node histogram for the heaviest levels.
+void write_order_report(prog::DistributedProgram& program,
+                        const Options& options, std::ostream& out,
+                        std::size_t max_levels = 10);
+
+}  // namespace lr::repair

@@ -1,12 +1,14 @@
 // Flag-table sync tests: repair_cli's accepted flags, its --help text and
-// the README flag table are all generated from / checked against
-// repair::repair_cli_flag_specs(). These tests keep the three in sync:
+// the docs/flags.md reference are all generated from / checked against
+// repair::repair_cli_flag_specs(). These tests keep them in sync:
 //  1. every flag the repair_cli source actually queries is declared,
 //  2. every declared flag appears in the generated --help text,
-//  3. every declared flag is documented in the README flag table.
+//  3. every declared flag appears in the generated Markdown reference
+//     (the committed docs/flags.md copy is byte-checked by test_docs.cpp).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <regex>
 #include <set>
@@ -52,7 +54,7 @@ TEST(CliFlagsTest, EveryQueriedFlagIsDeclaredInTheSpecTable) {
     EXPECT_TRUE(declared.count(name) != 0)
         << "repair_cli queries --" << name
         << " but does not declare it in repair_cli_flag_specs() — "
-        << "--help and the README table would miss it";
+        << "--help and docs/flags.md would miss it";
   }
 }
 
@@ -66,14 +68,39 @@ TEST(CliFlagsTest, EveryDeclaredFlagAppearsInHelpOutput) {
   }
 }
 
-TEST(CliFlagsTest, EveryDeclaredFlagIsDocumentedInReadme) {
-  const std::string readme = read_file(source_root() + "/README.md");
-  ASSERT_FALSE(readme.empty());
+TEST(CliFlagsTest, EveryDeclaredFlagIsDocumentedInFlagsMarkdown) {
+  const std::string markdown = lr::repair::repair_cli_flags_markdown();
+  ASSERT_FALSE(markdown.empty());
   for (const lr::support::FlagSpec& spec :
        lr::repair::repair_cli_flag_specs()) {
-    EXPECT_NE(readme.find("`--" + spec.name), std::string::npos)
+    EXPECT_NE(markdown.find("`--" + spec.name + "`"), std::string::npos)
         << "--" << spec.name
-        << " is not documented in the README flag table";
+        << " is missing from the generated docs/flags.md table";
+    EXPECT_FALSE(spec.help.empty()) << "--" << spec.name << " has no help";
+  }
+  // Exactly one table row per declared flag, nothing invented.
+  std::size_t rows = 0;
+  for (std::size_t pos = markdown.find("\n| `--"); pos != std::string::npos;
+       pos = markdown.find("\n| `--", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, lr::repair::repair_cli_flag_specs().size());
+}
+
+TEST(CliFlagsTest, FlagsMarkdownCellsAreSingleLine) {
+  // The terminal help wraps with embedded newlines and uses '|' freely
+  // (mode alternatives); the Markdown table must flatten the newlines and
+  // escape the pipes or the table breaks.
+  const std::string markdown = lr::repair::repair_cli_flags_markdown();
+  std::istringstream lines(markdown);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `--", 0) != 0) continue;
+    std::size_t cell_pipes = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '|' && (i == 0 || line[i - 1] != '\\')) ++cell_pipes;
+    }
+    EXPECT_EQ(cell_pipes, 4u) << "table row malformed: " << line;
   }
 }
 

@@ -1,0 +1,91 @@
+// Documentation sync tests (ctest -L docs — CI's docs job):
+//  1. the committed docs/flags.md is byte-identical to the generator
+//     behind `repair_cli --help-markdown` (the FlagSpec table), and
+//  2. every relative Markdown link in README.md and docs/*.md resolves to
+//     a file that exists in the repository.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repair/cli_spec.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string source_root() { return LR_SOURCE_DIR; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(DocsTest, FlagsMarkdownIsInSyncWithTheFlagSpecTable) {
+  const std::string committed = read_file(source_root() + "/docs/flags.md");
+  ASSERT_FALSE(committed.empty()) << "docs/flags.md missing";
+  const std::string generated = lr::repair::repair_cli_flags_markdown();
+  EXPECT_EQ(committed, generated)
+      << "docs/flags.md is stale — regenerate with\n"
+      << "  build/examples/repair_cli --help-markdown > docs/flags.md";
+}
+
+/// The Markdown files whose links the docs job guards.
+std::vector<fs::path> doc_files() {
+  std::vector<fs::path> files = {fs::path(source_root()) / "README.md"};
+  const fs::path docs = fs::path(source_root()) / "docs";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(docs, ec)) {
+    if (entry.path().extension() == ".md") files.push_back(entry.path());
+  }
+  EXPECT_FALSE(ec) << "cannot read docs/: " << ec.message();
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(DocsTest, RelativeMarkdownLinksResolve) {
+  // [text](target): relative targets must exist on disk. External links
+  // (scheme://...) and pure anchors (#...) are out of scope — the repo
+  // must stay checkable offline.
+  static const std::regex link(R"(\[[^\]]*\]\(([^)\s]+)\))");
+  const std::vector<fs::path> files = doc_files();
+  ASSERT_GT(files.size(), 1u) << "docs/ has no markdown files";
+  std::size_t checked = 0;
+  for (const fs::path& file : files) {
+    const std::string text = read_file(file.string());
+    ASSERT_FALSE(text.empty()) << file;
+    for (std::sregex_iterator it(text.begin(), text.end(), link), end;
+         it != end; ++it) {
+      std::string target = (*it)[1].str();
+      if (target.find("://") != std::string::npos) continue;
+      if (target.rfind("mailto:", 0) == 0) continue;
+      if (target[0] == '#') continue;
+      const std::size_t anchor = target.find('#');
+      if (anchor != std::string::npos) target.resize(anchor);
+      if (target.empty()) continue;
+      const fs::path resolved = file.parent_path() / target;
+      EXPECT_TRUE(fs::exists(resolved))
+          << file.filename().string() << " links to " << target
+          << " which does not exist (resolved: " << resolved << ")";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u) << "link checker matched nothing — regex broken?";
+}
+
+TEST(DocsTest, DocsTreeHasTheCoreChapters) {
+  for (const char* name :
+       {"architecture.md", "tutorial.md", "observability.md", "flags.md"}) {
+    EXPECT_TRUE(fs::exists(fs::path(source_root()) / "docs" / name))
+        << "docs/" << name << " missing";
+  }
+}
+
+}  // namespace
