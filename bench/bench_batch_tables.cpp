@@ -5,7 +5,7 @@
 //
 // Usage:
 //   bench_batch_tables [--jobs=N] [--compare-jobs=M] [--par-intra=K]
-//                      [--order=MODE] [--table=1|2|3|all]
+//                      [--order=MODE] [--rel=MODE] [--table=1|2|3|all]
 //                      [--metrics-json=FILE] [--trace-out=FILE]
 //
 // --compare-jobs runs the sweep a second time at M jobs and reports the
@@ -18,6 +18,11 @@
 // BENCH_order.json baseline (auto, because forcing a single heuristic on
 // a hostile family blows up — EXPERIMENTS.md "Variable order").
 //
+// --rel selects the transition-relation representation (auto|mono|
+// partition) for every task; CI sweeps --rel=auto on the Sc^n chain table
+// against the committed BENCH_relation.json baseline so a regression on
+// the partitioned early-quantification path fails visibly.
+//
 // --par-intra shards image/preimage and group enumeration *inside* each
 // task across K workers (repair::Options::intra_jobs); jobs * K is clamped
 // to the machine by the batch executor.
@@ -29,6 +34,7 @@
 #include "repair/batch.hpp"
 #include "support/cli.hpp"
 #include "symbolic/order_heur.hpp"
+#include "symbolic/relation.hpp"
 #include "support/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -68,6 +74,19 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (lr::repair::BatchTask& task : tasks) task.options.order_mode = *mode;
+  }
+
+  if (cli.has("rel")) {
+    const std::string rel_arg = cli.get("rel", "");
+    const auto mode = lr::sym::parse_relation_mode(rel_arg);
+    if (!mode) {
+      std::fprintf(stderr, "unknown relation mode '%s' (auto|mono|partition)\n",
+                   rel_arg.c_str());
+      return 2;
+    }
+    for (lr::repair::BatchTask& task : tasks) {
+      task.options.relation_mode = *mode;
+    }
   }
 
   const auto jobs = static_cast<std::size_t>(cli.get_int(

@@ -39,6 +39,7 @@
 #include "repair/journal.hpp"
 #include "repair/lazy.hpp"
 #include "repair/order_setup.hpp"
+#include "repair/relation_setup.hpp"
 #include "repair/report.hpp"
 #include "repair/verify.hpp"
 #include "support/cli.hpp"
@@ -358,6 +359,16 @@ int main(int argc, char** argv) {
       options.order_mode = *parsed;
     }
   }
+  if (cli.has("rel")) {
+    const std::string rel_arg = cli.get("rel", "");
+    const auto parsed = lr::sym::parse_relation_mode(rel_arg);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown relation mode '%s' (auto|mono|partition)\n",
+                   rel_arg.c_str());
+      return 2;
+    }
+    options.relation_mode = *parsed;
+  }
   options.intra_jobs = static_cast<std::size_t>(
       std::max<std::int64_t>(1, cli.get_int("par-intra", 1)));
   const std::string level = cli.get("level", "masking");
@@ -528,6 +539,8 @@ int main(int argc, char** argv) {
     lr::bdd::meminfo::write_gc_report(manager, std::cout);
     lr::bdd::meminfo::write_reorder_report(manager, std::cout);
     lr::bdd::meminfo::record_reorder_metrics(manager);
+    std::printf("\n");
+    lr::repair::write_relation_report(*program, options, std::cout);
     if (cli.has("order")) {
       std::printf("\n");
       lr::repair::write_order_report(*program, options, std::cout);

@@ -274,6 +274,13 @@ class Manager {
   /// heart of image/preimage computation).
   [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
 
+  /// ∃ cube. (f ∧ g ∧ h) in one pass — the three-conjunct relational
+  /// product used by partitioned transition relations, whose parts keep
+  /// their factors (e.g. a process delta and a primed invariant) separate
+  /// so the intermediate product is never materialized.
+  [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& h,
+                               const Bdd& cube);
+
   // --- Variable permutation -------------------------------------------------
   /// Registers the permutation mapping variable v to perm[v]. `perm` must
   /// have one entry per existing variable and be a bijection. Returns an id
@@ -444,6 +451,12 @@ class Manager {
     kOpPermBase  // kOpPermBase + perm id
   };
 
+  /// Cache-key op for the three-conjunct and_exists: four operands must fit
+  /// a (op, a, b, c) entry, so the cube's node id is packed into the op
+  /// field under this flag. Sound because neither kOpPermBase + perm ids
+  /// nor node ids ever reach 2^31.
+  static constexpr std::uint32_t kOpAndExists3Flag = 0x80000000u;
+
   void init_pool(std::size_t capacity);
   NodeId make_node(VarIndex var, NodeId lo, NodeId hi);
   NodeId alloc_node();
@@ -487,6 +500,7 @@ class Manager {
   NodeId exists_rec(NodeId f, NodeId cube);
   NodeId forall_rec(NodeId f, NodeId cube);
   NodeId and_exists_rec(NodeId f, NodeId g, NodeId cube);
+  NodeId and_exists3_rec(NodeId f, NodeId g, NodeId h, NodeId cube);
   bool leq_rec(NodeId f, NodeId g);
   bool disjoint_rec(NodeId f, NodeId g);
   NodeId permute_rec(NodeId f, PermId perm);

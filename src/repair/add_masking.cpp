@@ -1,8 +1,10 @@
 #include "repair/add_masking.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "repair/journal.hpp"
+#include "repair/relation_setup.hpp"
 #include "support/log.hpp"
 #include "support/progress.hpp"
 #include "support/trace.hpp"
@@ -23,6 +25,16 @@ bdd::Bdd construct_invariant(sym::Space& space, bdd::Bdd states,
   }
 }
 
+/// Same fixpoint over a partitioned relation.
+bdd::Bdd construct_invariant(sym::Space& space, bdd::Bdd states,
+                             const sym::TransitionRelation& rel) {
+  while (true) {
+    const bdd::Bdd alive = states & space.preimage(rel, states);
+    if (alive == states) return states;
+    states = alive;
+  }
+}
+
 }  // namespace
 
 StepOneResult add_masking(prog::DistributedProgram& program,
@@ -36,6 +48,13 @@ StepOneResult add_masking(prog::DistributedProgram& program,
 
   const bdd::Bdd delta_p = program.program_delta();
   const bdd::Bdd faults = program.fault_delta();
+  // Transition-relation representation (--rel): kPartition threads
+  // scheduled conjunctive/disjunctive partitions through every fixpoint
+  // below; kMono keeps the historical flat-BDD call shapes. Both compute
+  // the same canonical sets.
+  const sym::RelationMode rel_mode = resolved_relation_mode(program, options);
+  const bool rel_partitioned = rel_mode == sym::RelationMode::kPartition;
+  const sym::TransitionRelation faults_rel = fault_relation(program, rel_mode);
   const bdd::Bdd valid_cur = space.valid(sym::Version::kCurrent);
   const bdd::Bdd valid_pair = space.valid_pair();
   // Nonmasking tolerance ignores the safety specification entirely: only
@@ -67,8 +86,8 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   if (!context.valid()) {
     context = valid_cur;
     if (options.restrict_to_reachable) {
-      context =
-          space.forward_reachable(program.transition_partitions(), s_orig);
+      context = space.forward_reachable(
+          program_fault_relation(program, rel_mode), s_orig);
     }
   }
   stats.reachable_states = space.count_states(context);
@@ -81,7 +100,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
     LR_TRACE_SPAN("add_masking.ms_fixpoint");
     while (true) {
       throw_if_cancelled(options.cancel);
-      const bdd::Bdd grown = (ms | space.preimage(faults, ms)) & context;
+      const bdd::Bdd grown = (ms | space.preimage(faults_rel, ms)) & context;
       if (grown == ms) break;
       ms = grown;
     }
@@ -91,13 +110,30 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   const bdd::Bdd mt = (bad_trans | space.prime(ms)) & valid_pair;
 
   // --- First guesses S1, T1 ---------------------------------------------------
-  bdd::Bdd s1 = construct_invariant(space, s_orig.minus(ms), delta_p.minus(mt));
+  // δ_P − mt as disjunctive pieces (partitioned mode): one per process
+  // plus the stutter completion. Subtraction distributes over the union,
+  // so the pieces' union is exactly delta_p − mt.
+  std::vector<bdd::Bdd> pieces_mt;
+  if (rel_partitioned) {
+    for (const bdd::Bdd& piece : program_delta_pieces(program)) {
+      const bdd::Bdd trimmed = piece.minus(mt);
+      if (!trimmed.is_false()) pieces_mt.push_back(trimmed);
+    }
+  }
+  sym::TransitionRelation delta_mt_rel(space, rel_mode);
+  if (rel_partitioned) {
+    for (const bdd::Bdd& piece : pieces_mt) delta_mt_rel.add_part(piece);
+  } else {
+    delta_mt_rel.add_part(delta_p.minus(mt));
+  }
+  bdd::Bdd s1 = construct_invariant(space, s_orig.minus(ms), delta_mt_rel);
   bdd::Bdd t1 = context.minus(ms);
 
   if (s1.is_false()) return result;
 
   // --- Shrink (S1, T1) to the largest consistent pair -------------------------
-  bdd::Bdd p1;
+  bdd::Bdd p1;  // materialized only under kMono (and for the layer BFS)
+  sym::TransitionRelation p1_rel(space, rel_mode);
   std::size_t shrink_rounds = 0;
   {
   LR_TRACE_SPAN("add_masking.shrink_fixpoint");
@@ -119,14 +155,29 @@ StepOneResult add_masking(prog::DistributedProgram& program,
         heartbeat.emit("round " + std::to_string(stats.addmasking_rounds) +
                        ", live nodes " + std::to_string(mgr.live_nodes()));
       }
-      const bdd::Bdd inv_part = (delta_p & s1 & space.prime(s1)).minus(mt);
       // Proper transitions only: a self-loop outside the invariant would
       // let the program idle there forever, which recovery must rule out.
       const bdd::Bdd rec_part =
           (writable & t1.minus(s1) & space.prime(t1) & valid_pair)
               .minus(mt)
               .minus(space.identity());
-      p1 = inv_part | rec_part;
+      // P1 = (δ_P ∧ S1 ∧ S1') − mt ∪ rec_part. Partitioned, the invariant
+      // side stays one part per δ_P piece with the S1 ∧ S1' restriction as
+      // a conjunct — the product is never materialized; the combined
+      // and-exists consumes the factors directly.
+      bdd::Bdd inv_cross;  // S1 ∧ S1', shared by the partitioned parts
+      p1_rel = sym::TransitionRelation(space, rel_mode);
+      if (rel_partitioned) {
+        inv_cross = s1 & space.prime(s1);
+        for (const bdd::Bdd& piece : pieces_mt) {
+          p1_rel.add_part(piece, inv_cross);
+        }
+        if (!rec_part.is_false()) p1_rel.add_part(rec_part);
+      } else {
+        const bdd::Bdd inv_part = (delta_p & s1 & space.prime(s1)).minus(mt);
+        p1 = inv_part | rec_part;
+        p1_rel.add_part(p1);
+      }
 
       bdd::Bdd t2 = t1;
       while (options.level != ToleranceLevel::kFailsafe) {
@@ -137,7 +188,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
         bdd::Bdd can_recover = s1 & t2;
         while (true) {
           const bdd::Bdd grown =
-              can_recover | (t2 & space.preimage(p1, can_recover));
+              can_recover | (t2 & space.preimage(p1_rel, can_recover));
           if (grown == can_recover) break;
           can_recover = grown;
         }
@@ -145,7 +196,7 @@ StepOneResult add_masking(prog::DistributedProgram& program,
         // Drop states from which faults escape the span.
         while (true) {
           const bdd::Bdd escaping =
-              t2_new & space.preimage(faults, valid_cur.minus(t2_new));
+              t2_new & space.preimage(faults_rel, valid_cur.minus(t2_new));
           if (escaping.is_false()) break;
           t2_new = t2_new.minus(escaping);
         }
@@ -154,7 +205,20 @@ StepOneResult add_masking(prog::DistributedProgram& program,
       }
 
       bdd::Bdd s2 = s1 & t2;
-      s2 = construct_invariant(space, s2, p1 & space.prime(s2));
+      if (rel_partitioned) {
+        // P1 ∧ S2' without materializing the product: prime(s2) rides as
+        // one more conjunct of every part.
+        const bdd::Bdd s2_primed = space.prime(s2);
+        sym::TransitionRelation closure_rel(space, rel_mode);
+        for (const bdd::Bdd& piece : pieces_mt) {
+          const bdd::Bdd conjuncts[3] = {piece, inv_cross, s2_primed};
+          closure_rel.add_part(std::span<const bdd::Bdd>(conjuncts, 3));
+        }
+        if (!rec_part.is_false()) closure_rel.add_part(rec_part, s2_primed);
+        s2 = construct_invariant(space, s2, closure_rel);
+      } else {
+        s2 = construct_invariant(space, s2, p1 & space.prime(s2));
+      }
       if (s2.is_false()) return result;
 
       if (options.journal != nullptr) {
@@ -187,15 +251,19 @@ StepOneResult add_masking(prog::DistributedProgram& program,
   bdd::Bdd added = space.bdd_false();
   bdd::Bdd remaining =
       options.level == ToleranceLevel::kFailsafe ? space.bdd_false() : outside;
+  // The layer BFS's `added` sets need P1's transitions, not just its
+  // preimages: materialize the union once (a no-op under kMono).
+  bdd::Bdd p1_flat = p1;
+  if (rel_partitioned && !remaining.is_false()) p1_flat = p1_rel.flat();
   stats.recovery_layers = 0;
   {
     LR_TRACE_SPAN("add_masking.recovery_layers");
     support::progress::Heartbeat heartbeat("add_masking.recovery");
     while (!remaining.is_false()) {
       throw_if_cancelled(options.cancel);
-      const bdd::Bdd layer = space.preimage(p1, below) & remaining;
+      const bdd::Bdd layer = space.preimage(p1_rel, below) & remaining;
       if (layer.is_false()) break;
-      const bdd::Bdd layer_added = p1 & layer & space.prime(below);
+      const bdd::Bdd layer_added = p1_flat & layer & space.prime(below);
       added |= layer_added;
       below |= layer;
       remaining = remaining.minus(layer);

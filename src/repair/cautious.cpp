@@ -4,6 +4,7 @@
 
 #include "repair/journal.hpp"
 #include "repair/order_setup.hpp"
+#include "repair/relation_setup.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/progress.hpp"
@@ -17,7 +18,7 @@ namespace {
 /// Largest subset of `states` where every state has a `rel`-successor
 /// inside the subset.
 bdd::Bdd construct_invariant(sym::Space& space, bdd::Bdd states,
-                             const bdd::Bdd& rel) {
+                             const sym::TransitionRelation& rel) {
   while (true) {
     const bdd::Bdd alive = states & space.preimage(rel, states);
     if (alive == states) return states;
@@ -114,6 +115,12 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
   // Space::preimage, which auto-partitions large relations when enabled.
   space.enable_intra(options.intra_jobs);
 
+  // --rel resolution + partition-shape record (metrics, journal header).
+  const sym::RelationMode rel_mode = resolved_relation_mode(program, options);
+  const bool rel_partitioned = rel_mode == sym::RelationMode::kPartition;
+  record_relation_shape(program, options, options.journal);
+  const sym::TransitionRelation faults_rel = fault_relation(program, rel_mode);
+
   const std::size_t nproc = program.process_count();
   const bdd::Bdd delta_p = program.program_delta();
   const bdd::Bdd faults = program.fault_delta();
@@ -140,7 +147,7 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
                 mgr.exists(faults & program.safety().bad_trans,
                            space.cube(sym::Version::kNext));
   while (true) {
-    const bdd::Bdd grown = ms | space.preimage(faults, ms);
+    const bdd::Bdd grown = ms | space.preimage(faults_rel, ms);
     if (grown == ms) break;
     ms = grown;
   }
@@ -212,21 +219,35 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     // --- Shrink (S1, T1) with the grouped transition sets -------------------------
     ++result.stats.addmasking_rounds;
     LR_TRACE_SPAN_NAMED(shrink_span, "cautious_repair.shrink");
-    const bdd::Bdd p1 = inv_all | inv_stutter | rec_all;
+    // P1 as a relation: partitioned it keeps the per-process grouped sets
+    // as disjunctive parts (their supports are what early quantification
+    // schedules around); mono materializes the historical union.
+    sym::TransitionRelation p1_rel(space, rel_mode);
+    if (rel_partitioned) {
+      for (const bdd::Bdd& part : inv_j) {
+        if (!part.is_false()) p1_rel.add_part(part);
+      }
+      if (!inv_stutter.is_false()) p1_rel.add_part(inv_stutter);
+      for (const bdd::Bdd& part : rec_j) {
+        if (!part.is_false()) p1_rel.add_part(part);
+      }
+    } else {
+      p1_rel.add_part(inv_all | inv_stutter | rec_all);
+    }
     bdd::Bdd t2 = t1;
     while (true) {
       throw_if_cancelled(options.cancel);
       bdd::Bdd can_recover = s1 & t2;
       while (true) {
         const bdd::Bdd grown =
-            can_recover | (t2 & space.preimage(p1, can_recover));
+            can_recover | (t2 & space.preimage(p1_rel, can_recover));
         if (grown == can_recover) break;
         can_recover = grown;
       }
       bdd::Bdd t2_new = can_recover;
       while (true) {
         const bdd::Bdd escaping =
-            t2_new & space.preimage(faults, valid_cur.minus(t2_new));
+            t2_new & space.preimage(faults_rel, valid_cur.minus(t2_new));
         if (escaping.is_false()) break;
         t2_new = t2_new.minus(escaping);
       }
@@ -234,7 +255,24 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
       t2 = t2_new;
     }
     bdd::Bdd s2 = s1 & t2;
-    s2 = construct_invariant(space, s2, (inv_all | inv_stutter) & space.prime(s2));
+    {
+      // Invariant closure under P1 ∧ S2': partitioned, prime(s2) rides as
+      // a conjunct of each invariant part instead of materializing the
+      // product.
+      sym::TransitionRelation closure_rel(space, rel_mode);
+      if (rel_partitioned) {
+        const bdd::Bdd s2_primed = space.prime(s2);
+        for (const bdd::Bdd& part : inv_j) {
+          if (!part.is_false()) closure_rel.add_part(part, s2_primed);
+        }
+        if (!inv_stutter.is_false()) {
+          closure_rel.add_part(inv_stutter, s2_primed);
+        }
+      } else {
+        closure_rel.add_part((inv_all | inv_stutter) & space.prime(s2));
+      }
+      s2 = construct_invariant(space, s2, closure_rel);
+    }
     if (options.journal != nullptr) {
       options.journal->fixpoint_round("cautious.shrink",
                                       result.stats.addmasking_rounds,
@@ -254,9 +292,17 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     bdd::Bdd below = s1;
     bdd::Bdd layer_decreasing = space.bdd_false();
     bdd::Bdd remaining = t1.minus(s1);
+    sym::TransitionRelation rec_rel(space, rel_mode);
+    if (rel_partitioned) {
+      for (const bdd::Bdd& part : rec_j) {
+        if (!part.is_false()) rec_rel.add_part(part);
+      }
+    } else {
+      rec_rel.add_part(rec_all);
+    }
     result.stats.recovery_layers = 0;
     while (!remaining.is_false()) {
-      const bdd::Bdd layer = space.preimage(rec_all, below) & remaining;
+      const bdd::Bdd layer = space.preimage(rec_rel, below) & remaining;
       if (layer.is_false()) break;  // leftovers are handled by the DL check
       layer_decreasing |= layer & space.prime(below);
       below |= layer;
@@ -286,13 +332,15 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     std::vector<bdd::Bdd> partitions = final_j;
     const std::vector<bdd::Bdd>& fault_parts = program.fault_action_deltas();
     partitions.insert(partitions.end(), fault_parts.begin(), fault_parts.end());
-    const bdd::Bdd span = space.forward_reachable(partitions, s1);
+    const sym::TransitionRelation span_rel =
+        sym::TransitionRelation::build(space, partitions, rel_mode);
+    const bdd::Bdd span = space.forward_reachable(span_rel, s1);
     // Refinement reference: the candidate program's reach from the *full*
     // candidate invariant — the set the next round restarts from. (Using
     // `span` alone could shrink the reference below the restart invariant
     // and blanket-tolerate legitimate states.)
     const bdd::Bdd span_full = space.forward_reachable(
-        partitions, program.invariant().minus(ms));
+        span_rel, program.invariant().minus(ms));
     if (refinements < 8 && !reach_ref.leq(span_full)) {
       // The candidate program visits fewer states than the tolerance
       // reference assumed: tighten the reference and redo the analysis
@@ -310,9 +358,18 @@ RepairResult cautious_repair(prog::DistributedProgram& program,
     // Dead-region check: a state is alive when some successor chain stays
     // alive (stutter loops keep legitimate terminals alive); banning the
     // backward-closed dead set at once avoids one-layer-per-round peeling.
+    sym::TransitionRelation realized_rel(space, rel_mode);
+    if (rel_partitioned) {
+      for (const bdd::Bdd& part : final_j) {
+        if (!part.is_false()) realized_rel.add_part(part);
+      }
+      if (!inv_stutter.is_false()) realized_rel.add_part(inv_stutter);
+    } else {
+      realized_rel.add_part(realized);
+    }
     bdd::Bdd alive = span;
     while (true) {
-      const bdd::Bdd shrunk = space.has_successor_in(realized, alive);
+      const bdd::Bdd shrunk = space.has_successor_in(realized_rel, alive);
       if (shrunk == alive) break;
       alive = shrunk;
     }

@@ -7,6 +7,7 @@
 #include "repair/journal.hpp"
 #include "repair/order_setup.hpp"
 #include "repair/realize.hpp"
+#include "repair/relation_setup.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
 #include "support/progress.hpp"
@@ -128,6 +129,13 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   }
   space.enable_intra(options.intra_jobs);
 
+  // Resolve --rel against the program's natural partition width and record
+  // the partition shape (metrics + journal header). The shape describes
+  // the program, not the mode, so journals stay byte-identical across
+  // --rel values.
+  const sym::RelationMode rel_mode = resolved_relation_mode(program, options);
+  record_relation_shape(program, options, options.journal);
+
   bdd::Bdd candidate_invariant = program.invariant();
   bdd::Bdd extra_bad_trans = space.bdd_false();
   const bdd::Bdd identity = space.identity();
@@ -138,8 +146,8 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
   bdd::Bdd context;
   if (options.restrict_to_reachable) {
     LR_TRACE_SPAN_NAMED(ctx_span, "lazy_repair.context_reach");
-    context =
-        space.forward_reachable(program.transition_partitions(), candidate_invariant);
+    context = space.forward_reachable(
+        program_fault_relation(program, rel_mode), candidate_invariant);
     if (support::trace::enabled()) {
       ctx_span.attr("states", space.count_states(context));
     }
@@ -187,8 +195,9 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     std::vector<bdd::Bdd> step1_parts{step1.delta};
     step1_parts.insert(step1_parts.end(), fault_parts.begin(),
                        fault_parts.end());
-    const bdd::Bdd tolerance =
-        space.forward_reachable(step1_parts, step1.invariant);
+    const bdd::Bdd tolerance = space.forward_reachable(
+        sym::TransitionRelation::build(space, step1_parts, rel_mode),
+        step1.invariant);
     std::vector<bdd::Bdd> deltas =
         realize(program, step1.delta, tolerance, options, result.stats);
     if (options.level != ToleranceLevel::kFailsafe) {
@@ -200,8 +209,9 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
     // construction, so Line-1 don't-cares are indeed never executed).
     std::vector<bdd::Bdd> partitions = deltas;
     partitions.insert(partitions.end(), fault_parts.begin(), fault_parts.end());
-    const bdd::Bdd realized_span =
-        space.forward_reachable(partitions, step1.invariant);
+    const bdd::Bdd realized_span = space.forward_reachable(
+        sym::TransitionRelation::build(space, partitions, rel_mode),
+        step1.invariant);
 
     // Deadlock check (Algorithm 1 lines 10-12), over the states the
     // realized program actually visits, generalized to the whole dead
@@ -238,10 +248,11 @@ RepairResult lazy_repair(prog::DistributedProgram& program,
       std::vector<bdd::Bdd> realized_parts{step1.delta & identity};
       realized_parts.insert(realized_parts.end(), deltas.begin(),
                             deltas.end());
+      const sym::TransitionRelation realized_rel =
+          sym::TransitionRelation::build(space, realized_parts, rel_mode);
       bdd::Bdd alive = realized_span;
       while (true) {
-        const bdd::Bdd shrunk = space.has_successor_in(
-            std::span<const bdd::Bdd>(realized_parts), alive);
+        const bdd::Bdd shrunk = space.has_successor_in(realized_rel, alive);
         if (shrunk == alive) break;
         alive = shrunk;
       }

@@ -1,0 +1,148 @@
+#include "repair/relation_setup.hpp"
+
+#include <ostream>
+
+#include "repair/journal.hpp"
+#include "support/metrics.hpp"
+
+namespace lr::repair {
+
+namespace {
+
+std::size_t natural_parts(prog::DistributedProgram& program) {
+  // One piece per process, one per fault action, plus the stutter
+  // completion (folded into the process count: it exists whenever any
+  // process does).
+  return program.process_count() + program.fault_action_deltas().size();
+}
+
+/// The shape is computed over a scheduled relation regardless of the
+/// execution mode, so every consumer (metrics, journal header, --stats)
+/// describes the same program identically under --rel=mono and
+/// --rel=partition.
+sym::RelationShape program_shape(prog::DistributedProgram& program) {
+  const std::vector<bdd::Bdd> pieces = program_delta_pieces(program);
+  sym::TransitionRelation rel(program.space(),
+                              sym::RelationMode::kPartition);
+  for (const bdd::Bdd& piece : pieces) rel.add_part(piece);
+  for (const bdd::Bdd& fault : program.fault_action_deltas()) {
+    rel.add_part(fault);
+  }
+  return rel.shape();
+}
+
+}  // namespace
+
+sym::RelationMode resolved_relation_mode(prog::DistributedProgram& program,
+                                         const Options& options) {
+  return sym::resolve_relation_mode(options.relation_mode,
+                                    natural_parts(program));
+}
+
+std::vector<bdd::Bdd> program_delta_pieces(
+    prog::DistributedProgram& program) {
+  std::vector<bdd::Bdd> pieces;
+  pieces.reserve(program.process_count() + 1);
+  for (std::size_t j = 0; j < program.process_count(); ++j) {
+    pieces.push_back(program.process_delta(j));
+  }
+  const bdd::Bdd stutter =
+      program.program_delta().minus(program.actions_delta());
+  if (!stutter.is_false()) pieces.push_back(stutter);
+  return pieces;
+}
+
+sym::TransitionRelation program_fault_relation(
+    prog::DistributedProgram& program, sym::RelationMode resolved) {
+  sym::Space& space = program.space();
+  if (resolved == sym::RelationMode::kPartition) {
+    sym::TransitionRelation rel(space, resolved);
+    for (const bdd::Bdd& piece : program_delta_pieces(program)) {
+      rel.add_part(piece);
+    }
+    for (const bdd::Bdd& fault : program.fault_action_deltas()) {
+      rel.add_part(fault);
+    }
+    return rel;
+  }
+  // Historical flat shape: process deltas + fault actions, no stutter
+  // (stutter steps add no reachability).
+  const std::vector<bdd::Bdd> parts = program.transition_partitions();
+  sym::TransitionRelation rel(space, sym::RelationMode::kMono);
+  for (const bdd::Bdd& part : parts) rel.add_part(part);
+  return rel;
+}
+
+sym::TransitionRelation fault_relation(prog::DistributedProgram& program,
+                                       sym::RelationMode resolved) {
+  sym::Space& space = program.space();
+  if (resolved == sym::RelationMode::kPartition) {
+    sym::TransitionRelation rel(space, resolved);
+    for (const bdd::Bdd& fault : program.fault_action_deltas()) {
+      rel.add_part(fault);
+    }
+    if (rel.part_count() == 0) rel.add_part(space.bdd_false());
+    return rel;
+  }
+  return sym::TransitionRelation::monolithic(space, program.fault_delta());
+}
+
+void record_relation_shape(prog::DistributedProgram& program,
+                           const Options& options, Journal* journal) {
+  const sym::RelationShape shape = program_shape(program);
+  const sym::RelationMode resolved =
+      resolved_relation_mode(program, options);
+  support::metrics::Registry& m = support::metrics::registry();
+  m.set_gauge("bdd.relation.parts", static_cast<double>(shape.parts));
+  m.set_gauge("bdd.relation.conjuncts",
+              static_cast<double>(shape.conjuncts));
+  m.set_gauge("bdd.relation.min_support_bits",
+              static_cast<double>(shape.min_support_bits));
+  m.set_gauge("bdd.relation.max_support_bits",
+              static_cast<double>(shape.max_support_bits));
+  m.set_gauge("bdd.relation.avg_support_bits", shape.avg_support_bits);
+  m.set_gauge("bdd.relation.schedulable_bits",
+              static_cast<double>(shape.schedulable_bits));
+  m.set_gauge("bdd.relation.total_bits",
+              static_cast<double>(shape.total_bits));
+  m.set_gauge("bdd.relation.mode." +
+                  std::string(sym::relation_mode_name(resolved)),
+              1.0);
+  if (journal != nullptr) {
+    // Header keys describe the program's partition shape, never the
+    // execution mode: journals must stay byte-identical across --rel.
+    journal->meta("relation_parts", std::to_string(shape.parts));
+    journal->meta("relation_conjuncts", std::to_string(shape.conjuncts));
+    journal->meta("relation_max_support_bits",
+                  std::to_string(shape.max_support_bits));
+    journal->meta("relation_schedulable_bits",
+                  std::to_string(shape.schedulable_bits));
+    journal->meta("relation_total_bits",
+                  std::to_string(shape.total_bits));
+  }
+}
+
+void write_relation_report(prog::DistributedProgram& program,
+                           const Options& options, std::ostream& out) {
+  const sym::RelationShape shape = program_shape(program);
+  const sym::RelationMode resolved =
+      resolved_relation_mode(program, options);
+  out << "transition relation:\n";
+  out << "  mode: " << sym::relation_mode_name(resolved);
+  if (options.relation_mode == sym::RelationMode::kAuto) {
+    out << " (requested auto)";
+  }
+  out << "\n";
+  out << "  parts: " << shape.parts << " (" << shape.conjuncts
+      << " conjuncts)\n";
+  out << "  support bits: min " << shape.min_support_bits << ", max "
+      << shape.max_support_bits << ", avg " << shape.avg_support_bits
+      << " of " << shape.total_bits << "\n";
+  out << "  schedulable bits: " << shape.schedulable_bits
+      << (shape.schedulable_bits == 0
+              ? " (every part touches every bit)"
+              : " (quantified before the product)")
+      << "\n";
+}
+
+}  // namespace lr::repair

@@ -8,6 +8,7 @@
 #include "bdd/bdd.hpp"
 #include "repair/cancel.hpp"
 #include "symbolic/order_heur.hpp"
+#include "symbolic/relation.hpp"
 
 namespace lr::repair {
 
@@ -88,6 +89,15 @@ struct Options {
   /// Bound on Algorithm 1's outer repeat loop (defensive; case studies
   /// converge in 1-2 iterations).
   std::size_t max_outer_iterations = 64;
+
+  /// Transition-relation representation (--rel). kPartition runs the
+  /// image/preimage fixpoints over a scheduled conjunctive/disjunctive
+  /// partition with early quantification (see symbolic/relation.hpp);
+  /// kMono keeps the historical flat-BDD call shapes. kAuto partitions
+  /// whenever the program has >= 2 natural parts. Both representations
+  /// compute the same canonical sets, so results, exports, journals and
+  /// non-timing metrics are byte-identical across modes.
+  sym::RelationMode relation_mode = sym::RelationMode::kAuto;
 
   /// Intra-problem worker count (--par-intra). With >= 2, image/preimage
   /// computation shards the transition relation across a per-problem

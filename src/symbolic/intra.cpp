@@ -232,6 +232,105 @@ bdd::Bdd IntraEngine::preimage(std::span<const bdd::Bdd> pieces,
   return result;
 }
 
+namespace {
+
+/// Pinned main-manager node ids of one scheduled piece (see ScheduledPiece).
+struct PieceIds {
+  bdd::NodeId a = bdd::kTrueId;
+  bdd::NodeId b = bdd::kTrueId;
+  bdd::NodeId local = bdd::kTrueId;
+  bdd::NodeId absent = bdd::kTrueId;
+  bool has_b = false;
+};
+
+}  // namespace
+
+bdd::Bdd IntraEngine::image(std::span<const ScheduledPiece> pieces,
+                            const bdd::Bdd& from) {
+  if (pinned_.size() > kMaxPins) drop_pins();
+  sync_order();
+  std::vector<PieceIds> ids;
+  ids.reserve(pieces.size());
+  for (const ScheduledPiece& piece : pieces) {
+    PieceIds p;
+    p.a = pin(piece.a);
+    p.has_b = piece.b.valid();
+    if (p.has_b) p.b = pin(piece.b);
+    p.local = pin(piece.local_cube);
+    p.absent = pin(piece.absent_cube);
+    ids.push_back(p);
+  }
+  const bdd::NodeId from_id = pin(from);
+  std::vector<bdd::Bdd> partials(contexts());
+  run([&](std::size_t w, Worker& worker) {
+    const bdd::Bdd operand = import(w, from_id);
+    bdd::Bdd acc = worker.mgr.bdd_false();
+    for (std::size_t i = w; i < ids.size(); i += contexts()) {
+      const bdd::Bdd a = import(w, ids[i].a);
+      const bdd::Bdd local = import(w, ids[i].local);
+      bdd::Bdd piece_operand = operand;
+      if (ids[i].absent != bdd::kTrueId) {
+        piece_operand = worker.mgr.exists(operand, import(w, ids[i].absent));
+      }
+      const bdd::Bdd quantified =
+          ids[i].has_b ? worker.mgr.and_exists(a, import(w, ids[i].b),
+                                               piece_operand, local)
+                       : worker.mgr.and_exists(a, piece_operand, local);
+      acc |= worker.mgr.permute(quantified, worker.swap);
+    }
+    partials[w] = std::move(acc);
+  });
+  bdd::Bdd result = main_.bdd_false();
+  for (std::size_t w = 0; w < partials.size(); ++w) {
+    if (partials[w].valid() && !partials[w].is_false()) {
+      result |= export_to_main(w, partials[w]);
+    }
+  }
+  return result;
+}
+
+bdd::Bdd IntraEngine::preimage(std::span<const ScheduledPiece> pieces,
+                               const bdd::Bdd& to_primed) {
+  if (pinned_.size() > kMaxPins) drop_pins();
+  sync_order();
+  std::vector<PieceIds> ids;
+  ids.reserve(pieces.size());
+  for (const ScheduledPiece& piece : pieces) {
+    PieceIds p;
+    p.a = pin(piece.a);
+    p.has_b = piece.b.valid();
+    if (p.has_b) p.b = pin(piece.b);
+    p.local = pin(piece.local_cube);
+    p.absent = pin(piece.absent_cube);
+    ids.push_back(p);
+  }
+  const bdd::NodeId to_id = pin(to_primed);
+  std::vector<bdd::Bdd> partials(contexts());
+  run([&](std::size_t w, Worker& worker) {
+    const bdd::Bdd operand = import(w, to_id);
+    bdd::Bdd acc = worker.mgr.bdd_false();
+    for (std::size_t i = w; i < ids.size(); i += contexts()) {
+      const bdd::Bdd a = import(w, ids[i].a);
+      const bdd::Bdd local = import(w, ids[i].local);
+      bdd::Bdd piece_operand = operand;
+      if (ids[i].absent != bdd::kTrueId) {
+        piece_operand = worker.mgr.exists(operand, import(w, ids[i].absent));
+      }
+      acc |= ids[i].has_b ? worker.mgr.and_exists(a, import(w, ids[i].b),
+                                                  piece_operand, local)
+                          : worker.mgr.and_exists(a, piece_operand, local);
+    }
+    partials[w] = std::move(acc);
+  });
+  bdd::Bdd result = main_.bdd_false();
+  for (std::size_t w = 0; w < partials.size(); ++w) {
+    if (partials[w].valid() && !partials[w].is_false()) {
+      result |= export_to_main(w, partials[w]);
+    }
+  }
+  return result;
+}
+
 const std::vector<bdd::Bdd>& IntraEngine::split_relation(const bdd::Bdd& rel,
                                                          std::size_t k) {
   if (pinned_.size() > kMaxPins) drop_pins();

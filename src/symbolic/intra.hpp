@@ -123,6 +123,28 @@ class IntraEngine {
   bdd::Bdd preimage(std::span<const bdd::Bdd> pieces,
                     const bdd::Bdd& to_primed);
 
+  /// One disjunctive piece of a scheduled (partitioned) transition
+  /// relation: up to two conjuncts plus the piece's early-quantification
+  /// cubes (see symbolic/relation.hpp). `b` is an invalid handle when the
+  /// piece has a single conjunct; `absent_cube` is the true cube when
+  /// nothing can be quantified before the product.
+  struct ScheduledPiece {
+    bdd::Bdd a;
+    bdd::Bdd b;
+    bdd::Bdd local_cube;
+    bdd::Bdd absent_cube;
+  };
+
+  /// Sharded image over scheduled pieces: each worker first quantifies the
+  /// piece-absent current bits out of `from`, then runs the combined
+  /// and-exists over the piece-local bits only.
+  bdd::Bdd image(std::span<const ScheduledPiece> pieces, const bdd::Bdd& from);
+
+  /// Sharded preimage over scheduled pieces (`to_primed` already renamed
+  /// to next bits; the piece cubes must be the next-bit ones).
+  bdd::Bdd preimage(std::span<const ScheduledPiece> pieces,
+                    const bdd::Bdd& to_primed);
+
   /// Deterministic disjunctive split of one transition relation into at
   /// most `k` disjoint pieces by repeated top-variable cofactoring of the
   /// currently largest piece (ties break to the lowest index). Returns a

@@ -8,6 +8,7 @@
 #include "bdd/witness.hpp"
 #include "support/trace.hpp"
 #include "symbolic/intra.hpp"
+#include "symbolic/relation.hpp"
 
 namespace lr::sym {
 
@@ -249,23 +250,144 @@ bdd::Bdd Space::preimage(const bdd::Bdd& rel, const bdd::Bdd& to) {
   return mgr_.and_exists(rel, prime(to), cube_next_);
 }
 
-bdd::Bdd Space::image(std::span<const bdd::Bdd> rels, const bdd::Bdd& from) {
+bdd::Bdd Space::union_over_parts(
+    std::span<const bdd::Bdd> rels,
+    const std::function<bdd::Bdd(std::span<const bdd::Bdd>)>& sharded,
+    const std::function<bdd::Bdd(const bdd::Bdd&)>& step) {
   freeze();
-  if (intra_ != nullptr && rels.size() > 1) return intra_->image(rels, from);
-  // Sequential reduction in partition order — the reference the sharded
-  // path must match bit-for-bit (it does: BDDs are canonical).
+  if (intra_ != nullptr && rels.size() > 1) return sharded(rels);
   bdd::Bdd result = mgr_.bdd_false();
-  for (const bdd::Bdd& rel : rels) result |= image(rel, from);
+  for (const bdd::Bdd& rel : rels) result |= step(rel);
   return result;
 }
 
+bdd::Bdd Space::image(std::span<const bdd::Bdd> rels, const bdd::Bdd& from) {
+  return union_over_parts(
+      rels,
+      [this, &from](std::span<const bdd::Bdd> parts) {
+        return intra_->image(parts, from);
+      },
+      [this, &from](const bdd::Bdd& rel) { return image(rel, from); });
+}
+
 bdd::Bdd Space::preimage(std::span<const bdd::Bdd> rels, const bdd::Bdd& to) {
+  return union_over_parts(
+      rels,
+      [this, &to](std::span<const bdd::Bdd> parts) {
+        return intra_->preimage(parts, prime(to));
+      },
+      [this, &to](const bdd::Bdd& rel) { return preimage(rel, to); });
+}
+
+namespace {
+
+/// Expands one scheduled part into engine pieces. Single-factor parts are
+/// Shannon-sharded (a cofactor's support never grows, so the shards
+/// inherit the part's quantification cubes soundly); multi-factor parts
+/// stay one piece so the worker's combined and-exists never materializes
+/// their product.
+void append_scheduled_pieces(
+    IntraEngine& intra, const RelationPart& part, bool use_next,
+    std::vector<IntraEngine::ScheduledPiece>& out) {
+  const bdd::Bdd& local = use_next ? part.local_next_cube
+                                   : part.local_cur_cube;
+  const bdd::Bdd& absent = use_next ? part.absent_next_cube
+                                    : part.absent_cur_cube;
+  if (part.conjuncts.size() == 1) {
+    const std::vector<bdd::Bdd> shards =
+        intra.split_relation(part.conjuncts[0], 2 * intra.contexts());
+    for (const bdd::Bdd& shard : shards) {
+      out.push_back({shard, bdd::Bdd(), local, absent});
+    }
+    return;
+  }
+  bdd::Bdd rest = part.conjuncts[1];
+  for (std::size_t i = 2; i < part.conjuncts.size(); ++i) {
+    rest &= part.conjuncts[i];
+  }
+  out.push_back({part.conjuncts[0], std::move(rest), local, absent});
+}
+
+}  // namespace
+
+bdd::Bdd Space::image_part(const RelationPart& part, const bdd::Bdd& from) {
   freeze();
-  if (intra_ != nullptr && rels.size() > 1) {
-    return intra_->preimage(rels, prime(to));
+  if (intra_ != nullptr) {
+    std::vector<IntraEngine::ScheduledPiece> pieces;
+    append_scheduled_pieces(*intra_, part, /*use_next=*/false, pieces);
+    if (pieces.size() > 1) return intra_->image(pieces, from);
+  }
+  // Early quantification: the part cannot see the bits outside its
+  // support, so they leave the operand before the product.
+  const bdd::Bdd operand = part.absent_cur_cube.is_true()
+                               ? from
+                               : mgr_.exists(from, part.absent_cur_cube);
+  if (part.conjuncts.size() >= 2) {
+    bdd::Bdd rest = part.conjuncts[1];
+    for (std::size_t i = 2; i < part.conjuncts.size(); ++i) {
+      rest &= part.conjuncts[i];
+    }
+    return unprime(mgr_.and_exists(part.conjuncts[0], rest, operand,
+                                   part.local_cur_cube));
+  }
+  return unprime(
+      mgr_.and_exists(part.conjuncts[0], operand, part.local_cur_cube));
+}
+
+bdd::Bdd Space::preimage_part(const RelationPart& part,
+                              const bdd::Bdd& to_primed) {
+  freeze();
+  if (intra_ != nullptr) {
+    std::vector<IntraEngine::ScheduledPiece> pieces;
+    append_scheduled_pieces(*intra_, part, /*use_next=*/true, pieces);
+    if (pieces.size() > 1) return intra_->preimage(pieces, to_primed);
+  }
+  const bdd::Bdd operand = part.absent_next_cube.is_true()
+                               ? to_primed
+                               : mgr_.exists(to_primed, part.absent_next_cube);
+  if (part.conjuncts.size() >= 2) {
+    bdd::Bdd rest = part.conjuncts[1];
+    for (std::size_t i = 2; i < part.conjuncts.size(); ++i) {
+      rest &= part.conjuncts[i];
+    }
+    return mgr_.and_exists(part.conjuncts[0], rest, operand,
+                           part.local_next_cube);
+  }
+  return mgr_.and_exists(part.conjuncts[0], operand, part.local_next_cube);
+}
+
+bdd::Bdd Space::image(const TransitionRelation& rel, const bdd::Bdd& from) {
+  freeze();
+  if (!rel.scheduled()) return image(rel.flat_parts(), from);
+  if (intra_ != nullptr && rel.part_count() > 1) {
+    std::vector<IntraEngine::ScheduledPiece> pieces;
+    for (const RelationPart& part : rel.parts()) {
+      append_scheduled_pieces(*intra_, part, /*use_next=*/false, pieces);
+    }
+    return intra_->image(pieces, from);
   }
   bdd::Bdd result = mgr_.bdd_false();
-  for (const bdd::Bdd& rel : rels) result |= preimage(rel, to);
+  for (const RelationPart& part : rel.parts()) {
+    result |= image_part(part, from);
+  }
+  return result;
+}
+
+bdd::Bdd Space::preimage(const TransitionRelation& rel, const bdd::Bdd& to) {
+  freeze();
+  if (!rel.scheduled()) return preimage(rel.flat_parts(), to);
+  const bdd::Bdd to_primed = prime(to);
+  if (intra_ != nullptr && rel.part_count() > 1) {
+    std::vector<IntraEngine::ScheduledPiece> pieces;
+    for (const RelationPart& part : rel.parts()) {
+      append_scheduled_pieces(*intra_, part, /*use_next=*/true, pieces);
+    }
+    return intra_->preimage(pieces, to_primed);
+  }
+  bdd::Bdd result = mgr_.bdd_false();
+  for (const RelationPart& part : rel.parts()) {
+    result |= preimage_part(part, to_primed);
+  }
   return result;
 }
 
@@ -315,6 +437,42 @@ bdd::Bdd Space::forward_reachable(std::span<const bdd::Bdd> rels,
   return reached;
 }
 
+bdd::Bdd Space::forward_reachable(const TransitionRelation& rel,
+                                  const bdd::Bdd& from) {
+  if (!rel.scheduled()) {
+    if (rel.part_count() == 1) {
+      return forward_reachable(rel.flat_parts()[0], from);
+    }
+    return forward_reachable(rel.flat_parts(), from);
+  }
+  LR_TRACE_SPAN_NAMED(span, "space.forward_reachable_partitioned");
+  freeze();
+  std::uint64_t images = 0;
+  bdd::Bdd reached = from;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const RelationPart& part : rel.parts()) {
+      // Chaotic iteration: saturate this part before moving to the next
+      // (same schedule as the span overload above).
+      while (true) {
+        const bdd::Bdd fresh = image_part(part, reached).minus(reached);
+        ++images;
+        if (fresh.is_false()) break;
+        reached |= fresh;
+        changed = true;
+      }
+    }
+  }
+  if (support::trace::enabled()) {
+    span.attr("partitions", static_cast<std::uint64_t>(rel.part_count()));
+    span.attr("image_steps", images);
+    span.attr("result_nodes",
+              static_cast<std::uint64_t>(reached.node_count()));
+  }
+  return reached;
+}
+
 bdd::Bdd Space::backward_reachable(const bdd::Bdd& rel, const bdd::Bdd& to) {
   LR_TRACE_SPAN_NAMED(span, "space.backward_reachable");
   std::uint64_t iterations = 0;
@@ -340,6 +498,11 @@ bdd::Bdd Space::has_successor_in(const bdd::Bdd& rel, const bdd::Bdd& set) {
 bdd::Bdd Space::has_successor_in(std::span<const bdd::Bdd> rels,
                                  const bdd::Bdd& set) {
   return set & preimage(rels, set);
+}
+
+bdd::Bdd Space::has_successor_in(const TransitionRelation& rel,
+                                 const bdd::Bdd& set) {
+  return set & preimage(rel, set);
 }
 
 bdd::Bdd Space::has_successor_in_local(const bdd::Bdd& rel,

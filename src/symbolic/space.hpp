@@ -15,6 +15,8 @@
 namespace lr::sym {
 
 class IntraEngine;
+class TransitionRelation;
+struct RelationPart;
 
 /// Identifier of a finite-domain program variable within a Space.
 using VarId = std::uint32_t;
@@ -146,6 +148,24 @@ class Space {
   [[nodiscard]] bdd::Bdd preimage(std::span<const bdd::Bdd> rels,
                                   const bdd::Bdd& to);
 
+  // --- Relation-aware overloads (symbolic/relation.hpp) --------------------
+  //
+  // A scheduled TransitionRelation interleaves quantification with
+  // conjunction: per part, the bits outside the part's support are
+  // quantified out of the operand first, then a combined and-exists over
+  // the part's conjuncts quantifies only the support-local bits. An
+  // unscheduled (mono) relation falls through to the flat overloads above,
+  // reproducing the historical execution path exactly. Either way the
+  // results are the same canonical sets.
+
+  /// Image over a TransitionRelation (∪ over parts).
+  [[nodiscard]] bdd::Bdd image(const TransitionRelation& rel,
+                               const bdd::Bdd& from);
+
+  /// Preimage over a TransitionRelation (∪ over parts).
+  [[nodiscard]] bdd::Bdd preimage(const TransitionRelation& rel,
+                                  const bdd::Bdd& to);
+
   /// Least fixpoint of `from ∪ image(rel, ·)` (forward reachability).
   [[nodiscard]] bdd::Bdd forward_reachable(const bdd::Bdd& rel,
                                            const bdd::Bdd& from);
@@ -157,6 +177,12 @@ class Space {
   /// breadth-first search on loosely-coupled relations (orders of magnitude
   /// faster on havoc-style fault structures).
   [[nodiscard]] bdd::Bdd forward_reachable(std::span<const bdd::Bdd> rels,
+                                           const bdd::Bdd& from);
+
+  /// Forward reachability over a TransitionRelation: chaotic per-part
+  /// saturation when the relation has several parts (scheduled or not),
+  /// breadth-first on the single part otherwise.
+  [[nodiscard]] bdd::Bdd forward_reachable(const TransitionRelation& rel,
                                            const bdd::Bdd& from);
 
   /// Least fixpoint of `to ∪ preimage(rel, ·)` (backward reachability).
@@ -171,6 +197,10 @@ class Space {
   /// Partitioned form: set ∩ ∪_i preimage(rels[i], set). The νZ fixpoints
   /// use this to avoid ever building the monolithic ∪_i rels[i] product.
   [[nodiscard]] bdd::Bdd has_successor_in(std::span<const bdd::Bdd> rels,
+                                          const bdd::Bdd& set);
+
+  /// TransitionRelation form: set ∩ preimage(rel, set).
+  [[nodiscard]] bdd::Bdd has_successor_in(const TransitionRelation& rel,
                                           const bdd::Bdd& set);
 
   /// has_successor_in computed monolithically on the main manager even
@@ -264,6 +294,24 @@ class Space {
                                                           Version ver) const {
     return ver == Version::kCurrent ? vars_[v].cur_bits : vars_[v].next_bits;
   }
+
+  /// Shared union-reduce over a partitioned relation: dispatches to the
+  /// intra engine for multi-part relations, otherwise reduces
+  /// `step(rels[i])` in partition order — the reference the sharded path
+  /// must match bit-for-bit (it does: BDDs are canonical).
+  [[nodiscard]] bdd::Bdd union_over_parts(
+      std::span<const bdd::Bdd> rels,
+      const std::function<bdd::Bdd(std::span<const bdd::Bdd>)>& sharded,
+      const std::function<bdd::Bdd(const bdd::Bdd&)>& step);
+
+  /// Early-quantified image/preimage of one scheduled part (see
+  /// symbolic/relation.hpp). With the intra engine active the part is
+  /// Shannon-sharded into scheduled pieces (the shards inherit the part's
+  /// quantification cubes — a cofactor's support never grows).
+  [[nodiscard]] bdd::Bdd image_part(const RelationPart& part,
+                                    const bdd::Bdd& from);
+  [[nodiscard]] bdd::Bdd preimage_part(const RelationPart& part,
+                                       const bdd::Bdd& to_primed);
 
   bdd::Manager mgr_;
   std::vector<VariableInfo> vars_;

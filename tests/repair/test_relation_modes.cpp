@@ -1,0 +1,283 @@
+// Differential equivalence suite for the transition-relation
+// representation (Options::relation_mode / --rel): the partitioned
+// representation with early-quantification scheduling promises
+// *byte-identical* results to the historical monolithic path — same
+// exported model text, same journal byte stream, same non-timing repair
+// metrics — at every --par-intra width. This suite locks that contract
+// down on every case study (plus the algorithm/option variants that
+// exercise different fixpoints) and on a sweep of random models across
+// every LR_FUZZ_TOPOLOGY and LR_FUZZ_FAULTS value.
+//
+// Environment knobs (fuzz sweep):
+//   LR_FUZZ_SEED=N     base seed (model i uses seed N+i); default 20160523
+//   LR_FUZZ_MODELS=N   models per topology x fault-class combination;
+//                      default 16 (x 4 topologies x 2 fault classes = 128)
+//
+// On a mismatch the sweep immediately prints the exact failing seed and a
+// one-line repro command, e.g.
+//   LR_FUZZ_SEED=20160711 LR_FUZZ_MODELS=1 LR_FUZZ_TOPOLOGY=ring \
+//     LR_FUZZ_FAULTS=corrupt ./test_relation_modes --gtest_filter='*Fuzz*'
+// which replays exactly that model (model_seed(base, 0) == base).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casestudies/byzantine.hpp"
+#include "casestudies/chain.hpp"
+#include "casestudies/tmr.hpp"
+#include "casestudies/token_ring.hpp"
+#include "program/distributed_program.hpp"
+#include "repair/cautious.hpp"
+#include "repair/export.hpp"
+#include "repair/journal.hpp"
+#include "repair/lazy.hpp"
+#include "support/rng.hpp"
+#include "../support/model_gen.hpp"
+
+namespace lr::repair {
+namespace {
+
+using ProgramFactory =
+    std::function<std::unique_ptr<prog::DistributedProgram>()>;
+
+/// Everything the mono/partition runs must agree on byte-for-byte.
+struct Artifacts {
+  bool success = false;
+  std::string failure_reason;
+  std::string exported;  ///< export_model() text (empty on failure)
+  std::string journal;   ///< Journal::to_jsonl()
+  std::string keys;      ///< comparable (non-timing) repair metrics
+};
+
+/// The metrics-json `repair.*` keys minus wall-clock (`*_seconds`) and the
+/// allocator high-water mark (peak node population legitimately differs
+/// between representations).
+std::string comparable_keys(const Stats& stats) {
+  std::ostringstream out;
+  out << "reachable_states=" << stats.reachable_states
+      << " outer_iterations=" << stats.outer_iterations
+      << " addmasking_rounds=" << stats.addmasking_rounds
+      << " group_iterations=" << stats.group_iterations
+      << " expand_accepts=" << stats.expand_successes
+      << " expand_rejects=" << stats.expand_failures
+      << " recovery_layers=" << stats.recovery_layers
+      << " deadlock_rounds=" << stats.deadlock_rounds
+      << " deadlock_states_banned=" << stats.deadlock_states_banned
+      << " banned_trans_nodes=" << stats.banned_trans_nodes
+      << " span_states=" << stats.span_states
+      << " invariant_states=" << stats.invariant_states;
+  return out.str();
+}
+
+Artifacts run_repair(const ProgramFactory& make, sym::RelationMode mode,
+                     std::size_t intra_jobs, Options options = {},
+                     bool cautious = false) {
+  std::unique_ptr<prog::DistributedProgram> program = make();
+  // Declared after `program`: journal events hold Bdd handles and must not
+  // outlive the program's Space.
+  Journal journal;
+  journal.meta("model", program->name());
+  options.journal = &journal;
+  options.relation_mode = mode;
+  options.intra_jobs = intra_jobs;
+  const RepairResult result = cautious ? cautious_repair(*program, options)
+                                       : lazy_repair(*program, options);
+  Artifacts artifacts;
+  artifacts.success = result.success;
+  artifacts.failure_reason = result.failure_reason;
+  if (result.success) artifacts.exported = export_model(*program, result);
+  artifacts.journal = journal.to_jsonl();
+  artifacts.keys = comparable_keys(result.stats);
+  return artifacts;
+}
+
+::testing::AssertionResult equivalent(const Artifacts& mono,
+                                      const Artifacts& part,
+                                      const std::string& what) {
+  if (mono.success != part.success) {
+    return ::testing::AssertionFailure()
+           << what << ": success " << mono.success << " vs " << part.success
+           << " (" << mono.failure_reason << " / " << part.failure_reason
+           << ")";
+  }
+  if (mono.exported != part.exported) {
+    return ::testing::AssertionFailure()
+           << what << ": exported models differ (" << mono.exported.size()
+           << " vs " << part.exported.size() << " bytes)";
+  }
+  if (mono.journal != part.journal) {
+    return ::testing::AssertionFailure()
+           << what << ": journals differ (" << mono.journal.size() << " vs "
+           << part.journal.size() << " bytes)";
+  }
+  if (mono.keys != part.keys) {
+    return ::testing::AssertionFailure()
+           << what << ": repair metrics differ\n  mono: " << mono.keys
+           << "\n  part: " << part.keys;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Contract: --rel=mono and --rel=partition agree byte-for-byte at
+/// --par-intra 1 and 4 (the intra suite separately locks 1-vs-N within a
+/// mode, so the two suites together cover the full mode x width matrix).
+constexpr std::size_t kIntraValues[] = {1, 4};
+
+void expect_modes_equivalent(const char* name, const ProgramFactory& make,
+                             Options options = {}, bool cautious = false) {
+  const Artifacts baseline =
+      run_repair(make, sym::RelationMode::kMono, 1, options, cautious);
+  for (const std::size_t intra : kIntraValues) {
+    const Artifacts mono =
+        intra == 1 ? baseline
+                   : run_repair(make, sym::RelationMode::kMono, intra,
+                                options, cautious);
+    const Artifacts part = run_repair(make, sym::RelationMode::kPartition,
+                                      intra, options, cautious);
+    const std::string what =
+        std::string(name) + " par_intra=" + std::to_string(intra);
+    EXPECT_TRUE(equivalent(mono, part, what));
+    if (intra != 1) EXPECT_TRUE(equivalent(baseline, mono, what + " (mono)"));
+  }
+}
+
+TEST(RelationModesTest, TmrMatchesMono) {
+  expect_modes_equivalent("tmr", [] { return cs::make_tmr({}); });
+}
+
+TEST(RelationModesTest, TokenRingMatchesMono) {
+  expect_modes_equivalent("token_ring",
+                          [] { return cs::make_token_ring({}); });
+}
+
+TEST(RelationModesTest, ByzantineMatchesMono) {
+  expect_modes_equivalent("byzantine", [] { return cs::make_byzantine({}); });
+}
+
+TEST(RelationModesTest, ChainMatchesMono) {
+  cs::ChainOptions chain;
+  chain.length = 8;
+  expect_modes_equivalent("Sc^8", [chain] { return cs::make_chain(chain); });
+}
+
+// Algorithm and option variants: the partitioned fixpoints must stay
+// equivalent under the cautious baseline (per-process grouped parts), the
+// one-shot group method, both non-masking tolerance levels (failsafe skips
+// the recovery fixpoints, nonmasking the safety ones) and with the
+// reachability heuristic off (the relation then drives a full-space
+// fixpoint).
+TEST(RelationModesTest, CautiousMatchesMono) {
+  Options options;
+  options.group_method = GroupMethod::kOneShot;
+  expect_modes_equivalent(
+      "token_ring/cautious", [] { return cs::make_token_ring({}); }, options,
+      /*cautious=*/true);
+}
+
+TEST(RelationModesTest, OneShotMatchesMono) {
+  Options options;
+  options.group_method = GroupMethod::kOneShot;
+  expect_modes_equivalent("tmr/oneshot", [] { return cs::make_tmr({}); },
+                          options);
+}
+
+TEST(RelationModesTest, FailsafeMatchesMono) {
+  Options options;
+  options.level = ToleranceLevel::kFailsafe;
+  expect_modes_equivalent("tmr/failsafe", [] { return cs::make_tmr({}); },
+                          options);
+}
+
+TEST(RelationModesTest, NonmaskingMatchesMono) {
+  Options options;
+  options.level = ToleranceLevel::kNonmasking;
+  expect_modes_equivalent("chain/nonmasking", [] {
+    cs::ChainOptions chain;
+    chain.length = 5;
+    return cs::make_chain(chain);
+  }, options);
+}
+
+TEST(RelationModesTest, NoHeuristicMatchesMono) {
+  Options options;
+  options.restrict_to_reachable = false;
+  expect_modes_equivalent("tmr/no-heuristic", [] { return cs::make_tmr({}); },
+                          options);
+}
+
+// kAuto must resolve to one of the two compared representations — lock the
+// resolution down so --rel=auto can never drift into a third path.
+TEST(RelationModesTest, AutoResolvesToPartitionForMultiPartPrograms) {
+  const Artifacts auto_run = run_repair([] { return cs::make_tmr({}); },
+                                        sym::RelationMode::kAuto, 1);
+  const Artifacts part = run_repair([] { return cs::make_tmr({}); },
+                                    sym::RelationMode::kPartition, 1);
+  EXPECT_TRUE(equivalent(auto_run, part, "tmr auto-vs-partition"));
+}
+
+// --- Random-model sweep ------------------------------------------------------
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 0);
+}
+
+/// Every LR_FUZZ_TOPOLOGY / LR_FUZZ_FAULTS value, with the exact strings a
+/// repro needs.
+constexpr const char* kTopologies[] = {"random", "ring", "tree", "star"};
+constexpr const char* kFaultClasses[] = {"havoc", "corrupt"};
+
+TEST(RelationModesFuzzTest, RandomModelsMatchMono) {
+  const std::uint64_t base = env_u64("LR_FUZZ_SEED", 20160523ull);
+  const std::size_t per_combo =
+      static_cast<std::size_t>(env_u64("LR_FUZZ_MODELS", 16));
+  std::size_t mismatches = 0;
+  for (const char* topology : kTopologies) {
+    ::setenv("LR_FUZZ_TOPOLOGY", topology, 1);
+    for (const char* faults : kFaultClasses) {
+      ::setenv("LR_FUZZ_FAULTS", faults, 1);
+      for (std::size_t i = 0; i < per_combo && mismatches < 5; ++i) {
+        const std::uint64_t seed = testgen::model_seed(base, i);
+        const ProgramFactory make = [seed] {
+          support::SplitMix64 rng(seed);
+          return testgen::random_program(rng);
+        };
+        for (const std::size_t intra : kIntraValues) {
+          const Artifacts mono =
+              run_repair(make, sym::RelationMode::kMono, intra);
+          const Artifacts part =
+              run_repair(make, sym::RelationMode::kPartition, intra);
+          const ::testing::AssertionResult ok = equivalent(
+              mono, part,
+              std::string(topology) + "/" + faults +
+                  " par_intra=" + std::to_string(intra));
+          if (!ok) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "[fuzz] MISMATCH seed=%llu: %s\n"
+                         "[fuzz] repro: LR_FUZZ_SEED=%llu LR_FUZZ_MODELS=1 "
+                         "LR_FUZZ_TOPOLOGY=%s LR_FUZZ_FAULTS=%s "
+                         "./test_relation_modes --gtest_filter='*Fuzz*'\n",
+                         static_cast<unsigned long long>(seed), ok.message(),
+                         static_cast<unsigned long long>(seed), topology,
+                         faults);
+            ADD_FAILURE() << "seed " << seed << ": " << ok.message();
+          }
+        }
+      }
+    }
+  }
+  ::unsetenv("LR_FUZZ_FAULTS");
+  ::unsetenv("LR_FUZZ_TOPOLOGY");
+}
+
+}  // namespace
+}  // namespace lr::repair

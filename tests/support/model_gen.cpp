@@ -27,6 +27,14 @@ Topology topology_from_env() {
   return Topology::kRandom;
 }
 
+FaultClass fault_class_from_env() {
+  const char* value = std::getenv("LR_FUZZ_FAULTS");
+  if (value != nullptr && std::strcmp(value, "corrupt") == 0) {
+    return FaultClass::kCorrupt;
+  }
+  return FaultClass::kHavoc;
+}
+
 std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
   const Topology topology = topology_from_env();
   auto p = std::make_unique<DistributedProgram>("fuzz");
@@ -121,12 +129,32 @@ std::unique_ptr<DistributedProgram> random_program(support::SplitMix64& rng) {
     p->add_process(std::move(proc));
   }
 
+  const FaultClass fault_class = fault_class_from_env();
   const std::size_t nfaults = 1 + rng.below(2);
   for (std::size_t f = 0; f < nfaults; ++f) {
     lang::Action fault;
     fault.name = "f" + std::to_string(f);
     fault.guard = rng.flip() ? Expr::bool_const(true) : random_state_expr();
-    fault.havoc.push_back(vars[rng.below(nvars)]);
+    if (fault_class == FaultClass::kCorrupt) {
+      // Byzantine-style corruption: deterministically overwrite interior
+      // variables (never the boundary ones, so some state survives for
+      // recovery to anchor on) with a wrong constant — a corrupted
+      // message or register, not an arbitrary scribble.
+      const std::size_t ncorrupt = 1 + rng.below(nvars > 2 ? 2 : 1);
+      std::vector<bool> corrupted(nvars, false);
+      for (std::size_t c = 0; c < ncorrupt; ++c) {
+        const std::size_t v =
+            nvars > 2 ? 1 + rng.below(nvars - 2) : rng.below(nvars);
+        if (corrupted[v]) continue;  // one assign per variable per fault
+        corrupted[v] = true;
+        fault.assigns.push_back(
+            {vars[v],
+             {Expr::constant(
+                 static_cast<std::uint32_t>(rng.below(domains[v])))}});
+      }
+    } else {
+      fault.havoc.push_back(vars[rng.below(nvars)]);
+    }
     p->add_fault(std::move(fault));
   }
 

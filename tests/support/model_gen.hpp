@@ -35,6 +35,20 @@ enum class Topology {
 /// shards.
 [[nodiscard]] Topology topology_from_env();
 
+/// Fault shape of generated programs.
+enum class FaultClass {
+  kHavoc,    ///< havoc one variable (nondeterministic scribble) — default
+  kCorrupt,  ///< byzantine-style value corruption: guarded assigns that
+             ///< overwrite interior variables with wrong constants,
+             ///< modeling a corrupted message/register rather than an
+             ///< arbitrary scribble
+};
+
+/// Fault class selected by the LR_FUZZ_FAULTS environment variable
+/// ("corrupt" -> kCorrupt; unset or anything else -> kHavoc). Read once
+/// per call, like topology_from_env.
+[[nodiscard]] FaultClass fault_class_from_env();
+
 /// Builds a random program: 2-3 variables of domain 2-3, 1-3 processes
 /// with random read/write topology and random guarded commands, 1-2 fault
 /// actions, a random nonempty invariant and a random (possibly empty)
